@@ -1,0 +1,129 @@
+// Command alloctrace characterizes a workload's allocator traffic: the
+// Table 3 statistics plus the request-size mixture, measured by running the
+// workload generator against a chosen allocator on one simulated core.
+//
+//	alloctrace -workload 'MediaWiki(ro)' -alloc ddmalloc -scale 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"webmm/internal/apprt"
+	"webmm/internal/machine"
+	"webmm/internal/mem"
+	"webmm/internal/report"
+	"webmm/internal/sim"
+	"webmm/internal/workload"
+)
+
+func main() {
+	var (
+		wlName = flag.String("workload", "MediaWiki(ro)", "workload profile name")
+		alloc  = flag.String("alloc", "default", "allocator")
+		scale  = flag.Int("scale", 16, "workload scale divisor")
+		txns   = flag.Int("txns", 3, "transactions to trace")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		ruby   = flag.Bool("ruby", false, "per-object cleanup instead of freeAll")
+	)
+	flag.Parse()
+
+	prof, err := workload.ByName(*wlName)
+	if err != nil {
+		fatal(err)
+	}
+	m := machine.New(machine.Xeon(), 1, 16*mem.KiB, 192*mem.KiB, *seed)
+	env := m.Streams()[0].Env
+	a, err := apprt.NewAllocator(*alloc, env, apprt.AllocOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	if !*ruby && !a.SupportsFreeAll() {
+		fatal(fmt.Errorf("allocator %q has no freeAll; use -ruby", *alloc))
+	}
+	gen := workload.NewGenerator(env, a, prof, *scale)
+
+	for t := 0; t < *txns; t++ {
+		for !gen.RunSlice(4096) {
+			env.Drain()
+		}
+		gen.EndTransaction(!*ruby)
+		if !*ruby {
+			a.FreeAll()
+		}
+		env.Drain()
+	}
+
+	s := gen.Stats()
+	perTxn := func(v uint64) float64 { return float64(v) / float64(*txns) }
+	fs := float64(*scale)
+
+	t := report.New(fmt.Sprintf("Allocator trace: %s on %q (scale 1/%d, %d txns)",
+		prof.Name, *alloc, *scale, *txns), "metric", "per txn", "full-scale equiv")
+	t.Add("malloc calls", report.F(perTxn(s.Mallocs), 0), report.F(perTxn(s.Mallocs)*fs, 0))
+	t.Add("free calls", report.F(perTxn(s.Frees), 0), report.F(perTxn(s.Frees)*fs, 0))
+	t.Add("realloc calls", report.F(perTxn(s.Reallocs), 0), report.F(perTxn(s.Reallocs)*fs, 0))
+	t.Add("mean request", report.F(s.AvgAllocSize(), 1)+"B", "same")
+	t.Add("bytes requested", report.MB(perTxn(s.BytesRequested)), report.MB(perTxn(s.BytesRequested)*fs))
+	t.Add("bytes allocated", report.MB(perTxn(s.BytesAllocated)), report.MB(perTxn(s.BytesAllocated)*fs))
+	t.Add("peak footprint", report.MB(float64(a.PeakFootprint())), "-")
+	fmt.Println(t.String())
+
+	fmt.Println(sizeHistogram(prof).String())
+}
+
+// sizeHistogram renders the profile's calibrated request-size mixture (the
+// same mixture the generator draws from; see internal/workload).
+func sizeHistogram(prof workload.Profile) *report.Table {
+	a := prof.AvgSize
+	analytic := 0.80*(4+a/2) + 0.1695*2*a + 0.03*11.5*a + 0.0005*(4096+65536)/2
+	scaleF := a / analytic
+	rng := sim.NewRNG(12345)
+
+	type band struct {
+		label string
+		max   uint64
+	}
+	bands := []band{
+		{"1-16B", 16}, {"17-64B", 64}, {"65-128B", 128}, {"129-512B", 512},
+		{"513B-4KiB", 4096}, {"4KiB-64KiB", 65536}, {">64KiB", 1 << 40},
+	}
+	counts := make([]float64, len(bands))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		u := rng.Float64()
+		var v float64
+		switch {
+		case u < 0.80:
+			v = 8 + rng.Float64()*(a-8)
+		case u < 0.80+0.1695:
+			v = a + rng.Float64()*2*a
+		case u < 0.80+0.1695+0.03:
+			v = 3*a + rng.Float64()*17*a
+		default:
+			v = 4096 + rng.Float64()*(65536-4096)
+		}
+		size := uint64(v * scaleF)
+		if size == 0 {
+			size = 1
+		}
+		for bi := range bands {
+			if size <= bands[bi].max {
+				counts[bi]++
+				break
+			}
+		}
+	}
+	t := report.New(fmt.Sprintf("Request-size mixture (mean %.1fB, Table 3 calibration)", a),
+		"band", "share")
+	for i, b := range bands {
+		t.Add(b.label, report.PctOf(counts[i]/n))
+	}
+	return t
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "alloctrace:", err)
+	os.Exit(2)
+}

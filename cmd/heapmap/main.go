@@ -1,0 +1,114 @@
+// Command heapmap renders an ASCII occupancy map of a DDmalloc heap under a
+// workload, mid-transaction: one character per segment, keyed by size
+// class. It makes the paper's Figure 2/3 heap structure tangible — segments
+// dedicated to one class each, carved in place, with freeAll returning the
+// whole picture to blank.
+//
+//	heapmap -workload 'MediaWiki(ro)' -scale 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"webmm/internal/core"
+	"webmm/internal/heap"
+	"webmm/internal/machine"
+	"webmm/internal/mem"
+	"webmm/internal/workload"
+)
+
+func main() {
+	var (
+		wlName = flag.String("workload", "MediaWiki(ro)", "workload profile name")
+		scale  = flag.Int("scale", 16, "workload scale divisor")
+		frac   = flag.Float64("at", 0.8, "fraction of the transaction to run before mapping")
+	)
+	flag.Parse()
+
+	prof, err := workload.ByName(*wlName)
+	if err != nil {
+		fatal(err)
+	}
+	m := machine.New(machine.Xeon(), 1, 16*mem.KiB, 192*mem.KiB, 7)
+	env := m.Streams()[0].Env
+	dd := core.New(env, core.DefaultOptions())
+	gen := workload.NewGenerator(env, dd, prof, *scale)
+
+	// Run a warmup transaction, then stop the second one mid-flight.
+	for !gen.RunSlice(1 << 20) {
+	}
+	gen.EndTransaction(true)
+	dd.FreeAll()
+	env.Drain()
+
+	steps := int(float64(gen.StepsPerTransaction()) * *frac)
+	gen.RunSlice(steps)
+	env.Drain()
+
+	fmt.Printf("DDmalloc heap, %s at %.0f%% of a transaction (scale 1/%d)\n",
+		prof.Name, *frac*100, *scale)
+	fmt.Printf("segments in use: %d (%.2f MiB + metadata)\n\n",
+		dd.UsedSegments(), float64(dd.UsedSegments())*32/1024)
+
+	classes := dd.SegmentClasses()
+	// Trim the unused tail.
+	last := 0
+	for i, c := range classes {
+		if c != -1 {
+			last = i
+		}
+	}
+	classes = classes[:last+1]
+
+	const perRow = 64
+	legendUsed := map[int16]bool{}
+	for row := 0; row*perRow < len(classes); row++ {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%4d  ", row*perRow)
+		for i := row * perRow; i < (row+1)*perRow && i < len(classes); i++ {
+			b.WriteByte(glyph(classes[i]))
+			legendUsed[classes[i]] = true
+		}
+		fmt.Println(b.String())
+	}
+
+	fmt.Println("\nlegend: . unused   @ large object")
+	var rows []string
+	for c := int16(0); c < int16(heap.NumClasses); c++ {
+		if legendUsed[c] {
+			rows = append(rows, fmt.Sprintf("%c %dB", glyph(c), heap.ClassSize(int(c))))
+		}
+	}
+	for i := 0; i < len(rows); i += 6 {
+		end := i + 6
+		if end > len(rows) {
+			end = len(rows)
+		}
+		fmt.Println("  " + strings.Join(rows[i:end], "   "))
+	}
+}
+
+// glyph maps a size class to a display character: digits for the 8-byte
+// classes, letters upward.
+func glyph(class int16) byte {
+	switch {
+	case class == -1:
+		return '.'
+	case class == -2:
+		return '@'
+	case class < 10:
+		return byte('0' + class)
+	case class < 36:
+		return byte('a' + class - 10)
+	default:
+		return byte('A' + (class-36)%26)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "heapmap:", err)
+	os.Exit(2)
+}

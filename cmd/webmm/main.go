@@ -1,0 +1,168 @@
+// Command webmm regenerates the paper's tables and figures on the
+// simulated Xeon and Niagara machines.
+//
+// Usage:
+//
+//	webmm -exp all                 # every table and figure
+//	webmm -exp fig5 -scale 8       # one experiment at 1/8 scale
+//	webmm -exp cell -platform xeon -alloc ddmalloc -workload 'MediaWiki(ro)' -cores 8
+//
+// Experiments: fig1 table2 table3 fig5 fig6 fig7 table4 fig8 fig9 fig10
+// fig11 fig12 all cell.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"webmm/internal/experiments"
+	"webmm/internal/report"
+	"webmm/internal/sim"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run (fig1,table2,table3,fig5,fig6,fig7,table4,fig8,fig9,fig10,fig11,fig12,all,cell)")
+		scale    = flag.Int("scale", 32, "workload scale divisor (power of two; 1 = paper scale)")
+		warmup   = flag.Int("warmup", 2, "warmup transactions per stream")
+		measure  = flag.Int("measure", 3, "measured transactions per stream")
+		seed     = flag.Uint64("seed", 20090615, "random seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		xeonLP   = flag.Bool("xeon-large-pages", false, "enable DDmalloc large pages on Xeon (paper's +11.7% variant)")
+		platform = flag.String("platform", "xeon", "cell: platform (xeon, niagara)")
+		alloc    = flag.String("alloc", "ddmalloc", "cell: allocator")
+		wl       = flag.String("workload", "MediaWiki(ro)", "cell: workload name")
+		cores    = flag.Int("cores", 8, "cell: active cores")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Scale: *scale, Warmup: *warmup, Measure: *measure,
+		Seed: *seed, XeonLargePages: *xeonLP,
+	}
+	r := experiments.NewRunner(cfg)
+
+	emit := func(t *report.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "fig1":
+			emit(experiments.Fig1(r).Table())
+		case "table2":
+			emit(experiments.Table2())
+		case "table3":
+			emit(experiments.Table3Table(experiments.Table3(r)))
+		case "fig5":
+			entries := experiments.Fig5(r)
+			emit(experiments.Fig5Table(entries))
+			if !*csv {
+				for _, plat := range []string{"xeon", "niagara"} {
+					ch := report.NewChart(fmt.Sprintf("Relative throughput on %s (| = default)", plat))
+					ch.SetBaseline(1.0)
+					for _, e := range entries {
+						if e.Platform == plat {
+							ch.Add(e.Workload+" region", e.Region)
+							ch.Add(e.Workload+" DDmalloc", e.DD)
+						}
+					}
+					fmt.Println(ch.String())
+				}
+			}
+		case "fig6":
+			emit(experiments.Fig6Table(experiments.Fig6(r)))
+		case "fig7":
+			points := experiments.Fig7(r)
+			emit(experiments.Fig7Table(points))
+			if !*csv {
+				for _, plat := range []string{"xeon", "niagara"} {
+					ch := report.NewChart(fmt.Sprintf("MediaWiki(ro) on %s, txns/sec by cores", plat))
+					for _, p := range points {
+						if p.Platform == plat {
+							ch.Add(fmt.Sprintf("%-8s @%d", p.Alloc, p.Cores), p.Throughput)
+						}
+					}
+					fmt.Println(ch.String())
+				}
+			}
+		case "table4":
+			emit(experiments.Table4Table(experiments.Table4(r)))
+		case "fig8":
+			emit(experiments.Fig8Table(experiments.Fig8(r)))
+		case "fig9":
+			emit(experiments.Fig9Table(experiments.Fig9(r)))
+		case "fig10":
+			emit(experiments.Fig10Table(experiments.Fig10(r)))
+		case "fig11":
+			emit(experiments.Fig11Table(experiments.Fig11(r)))
+		case "fig12":
+			emit(experiments.Fig12Table(experiments.Fig12(r)))
+		case "cell":
+			cr := r.Run(experiments.Cell{
+				Platform: *platform, Alloc: *alloc, Workload: *wl, Cores: *cores,
+			})
+			printCell(cr)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table2", "table3", "fig1", "fig5", "fig6", "fig7",
+			"table4", "fig8", "fig9", "fig10", "fig11", "fig12"}
+	}
+	for _, name := range names {
+		if err := run(name); err != nil {
+			fmt.Fprintln(os.Stderr, "webmm:", err)
+			os.Exit(2)
+		}
+	}
+}
+
+func printCell(cr experiments.CellResult) {
+	t := report.New(fmt.Sprintf("Cell: %s / %s / %s / %d cores",
+		cr.Platform, cr.Alloc, cr.Workload, cr.Cores), "metric", "value")
+	res := cr.Res
+	t.Add("throughput (txn/s)", report.F(res.Throughput, 2))
+	t.Add("wall seconds", report.F(res.WallSeconds, 4))
+	t.Add("bus utilization", report.PctOf(res.BusUtil))
+	t.Add("bus latency multiplier", report.F(res.BusMult, 2))
+	t.Add("cycles/txn", report.F(res.CyclesPerTxn(), 0))
+	mm := res.ClassCyclesPerTxn(sim.ClassAlloc)
+	t.Add("  memory management", fmt.Sprintf("%s (%s)",
+		report.F(mm, 0), report.PctOf(mm/res.CyclesPerTxn())))
+	t.Add("instructions/txn", report.F(res.PerTxn(res.Totals.Instr), 0))
+	t.Add("L1I misses/txn", report.F(res.PerTxn(res.Totals.L1IMiss), 0))
+	t.Add("L1D misses/txn", report.F(res.PerTxn(res.Totals.L1DMiss), 0))
+	t.Add("D-TLB misses/txn", report.F(res.PerTxn(res.Totals.TLBMiss), 0))
+	t.Add("L2 misses/txn", report.F(res.PerTxn(res.Totals.L2Miss()), 0))
+	t.Add("bus txns/txn", report.F(res.PerTxn(res.Totals.BusTxns()), 0))
+	t.Add("  demand fills", report.F(res.PerTxn(res.Totals.BusRead), 0))
+	t.Add("  writebacks", report.F(res.PerTxn(res.Totals.BusWrite), 0))
+	t.Add("  prefetch fills", report.F(res.PerTxn(res.Totals.BusPf), 0))
+	for cls := 0; cls < sim.NumClasses; cls++ {
+		c := res.ClassTotals[cls]
+		t.Add(fmt.Sprintf("  class %q", sim.Class(cls)),
+			fmt.Sprintf("L2miss=%.0f bus=%.0f L1D=%.0f L1I=%.0f pf=%.0f wb=%.0f rd=%.0f",
+				res.PerTxn(c.L2Miss()), res.PerTxn(c.BusTxns()), res.PerTxn(c.L1DMiss),
+				res.PerTxn(c.L1IMiss), res.PerTxn(c.BusPf), res.PerTxn(c.BusWrite), res.PerTxn(c.BusRead)))
+	}
+	t.Add("footprint/txn", report.MB(cr.Footprint))
+	fmt.Println(t.String())
+	tail := strings.Builder{}
+	fmt.Fprintf(&tail, "calls/txn: malloc=%.0f free=%.0f realloc=%.0f avg=%.1fB\n",
+		float64(cr.Calls.Mallocs)/float64(res.Txns),
+		float64(cr.Calls.Frees)/float64(res.Txns),
+		float64(cr.Calls.Reallocs)/float64(res.Txns),
+		cr.Calls.AvgAllocSize())
+	fmt.Print(tail.String())
+}

@@ -1,0 +1,46 @@
+package webmm
+
+import (
+	"webmm/internal/core"
+	"webmm/internal/heap"
+	"webmm/internal/sim"
+)
+
+// DDOptions configure a DDmalloc heap created through the facade. The zero
+// value selects the paper's configuration (32 KiB segments, small pages, no
+// metadata displacement).
+type DDOptions struct {
+	// SegmentSize is the segment granule in bytes (power of two;
+	// 0 selects the paper's 32 KiB).
+	SegmentSize uint64
+	// LargePages backs the heap with large pages (the paper's §3.3
+	// optimization 2).
+	LargePages bool
+	// PID displaces the metadata block between processes (§3.3
+	// optimization 1).
+	PID int
+}
+
+// SizeClasses returns DDmalloc's size-class table (the paper's §3.2
+// rounding rule: multiples of 8 below 128 bytes, multiples of 32 below 512,
+// powers of two up to half a segment).
+func SizeClasses() []uint64 {
+	out := make([]uint64, heap.NumClasses)
+	for c := range out {
+		out[c] = heap.ClassSize(c)
+	}
+	return out
+}
+
+// RoundedSize returns the allocation size DDmalloc serves for a request.
+func RoundedSize(request uint64) uint64 { return heap.RoundedSize(request) }
+
+func newDD(env *sim.Env, opts DDOptions) heap.Allocator {
+	o := core.DefaultOptions()
+	if opts.SegmentSize != 0 {
+		o.SegmentSize = opts.SegmentSize
+	}
+	o.LargePages = opts.LargePages
+	o.PID = opts.PID
+	return core.New(env, o)
+}

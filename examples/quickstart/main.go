@@ -1,0 +1,70 @@
+// Quickstart: create the paper's DDmalloc allocator on a simulated Xeon,
+// exercise it with a short transaction-shaped workload, and print the
+// allocator statistics and the hardware events the memory-system simulator
+// priced.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"webmm"
+)
+
+func main() {
+	// A sandbox is one simulated Xeon core with its caches and bus.
+	sb := webmm.NewSandbox(webmm.Xeon(), 42)
+
+	// DDmalloc with the paper's configuration: 32 KiB segments, no
+	// per-object headers, LIFO free lists, freeAll.
+	dd := sb.NewDDmalloc(webmm.DDOptions{})
+
+	// Simulate three PHP-style transactions: allocate transaction-scoped
+	// objects, use them, free most per-object, then bulk-free the rest.
+	for txn := 0; txn < 3; txn++ {
+		var live []webmm.Ptr
+		for i := 0; i < 10000; i++ {
+			size := uint64(16 + (i*13)%240)
+			p := dd.Malloc(size)
+			sb.Touch(p, size, true) // constructor fills the object
+			live = append(live, p)
+
+			sb.Work(300) // the script interprets some opcodes
+
+			// Free the oldest live object 85% of the time
+			// (the paper's per-object free rate).
+			if i%20 != 0 && len(live) > 4 {
+				victim := live[len(live)-3]
+				live = append(live[:len(live)-3], live[len(live)-2:]...)
+				sb.Touch(victim, 8, false) // destructor reads it
+				dd.Free(victim)
+			}
+		}
+		// End of request: everything left dies at once.
+		dd.FreeAll()
+
+		if txn == 0 {
+			sb.Warm() // first transaction warms the caches
+		} else {
+			sb.Measure()
+		}
+	}
+
+	stats := dd.Stats()
+	fmt.Printf("DDmalloc after 3 transactions:\n")
+	fmt.Printf("  mallocs            %d\n", stats.Mallocs)
+	fmt.Printf("  frees              %d\n", stats.Frees)
+	fmt.Printf("  freeAlls           %d\n", stats.FreeAlls)
+	fmt.Printf("  mean request       %.1f bytes\n", stats.AvgAllocSize())
+	fmt.Printf("  peak footprint     %.2f MiB\n\n", float64(dd.PeakFootprint())/(1<<20))
+
+	res := sb.Result()
+	fmt.Printf("Simulated Xeon core (2 measured transactions):\n")
+	fmt.Printf("  cycles/txn         %.0f\n", res.CyclesPerTxn())
+	fmt.Printf("  instructions/txn   %.0f\n", res.PerTxn(res.Totals.Instr))
+	fmt.Printf("  L1D misses/txn     %.0f\n", res.PerTxn(res.Totals.L1DMiss))
+	fmt.Printf("  L2 misses/txn      %.0f\n", res.PerTxn(res.Totals.L2Miss()))
+	fmt.Printf("  bus txns/txn       %.0f\n", res.PerTxn(res.Totals.BusTxns()))
+	fmt.Printf("  bus utilization    %.1f%%\n", res.BusUtil*100)
+}

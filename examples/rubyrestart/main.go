@@ -1,0 +1,47 @@
+// rubyrestart reruns the paper's §4.4 Ruby on Rails study in miniature:
+// Rails processes that never bulk-free, compared across allocators, plus
+// the Figure 12 restart-period trade-off — restarting a process pays an
+// interpreter-boot cost but resets the heap fragmentation that accumulates
+// because Ruby has no freeAll.
+//
+//	go run ./examples/rubyrestart
+package main
+
+import (
+	"fmt"
+
+	"webmm"
+)
+
+func main() {
+	cfg := webmm.DefaultStudyConfig()
+	cfg.Scale = 64
+	study := webmm.NewStudy(cfg)
+
+	fmt.Printf("Ruby on Rails, simulated 8-core Xeon, scale 1/%d\n\n", cfg.Scale)
+
+	// Figure 10 in miniature: allocator comparison with the paper's
+	// restart-every-500-transactions configuration.
+	t := webmm.NewReportTable("Allocator comparison (restart every 500 txns)",
+		"allocator", "txns/sec", "vs glibc")
+	base := study.RunRubyCell("glibc", 500)
+	for _, alloc := range []string{"glibc", "hoard", "tcmalloc", "ddmalloc"} {
+		res := study.RunRubyCell(alloc, 500)
+		t.Add(alloc, fmt.Sprintf("%.1f", res.Throughput),
+			fmt.Sprintf("%+.1f%%", (res.Throughput/base.Throughput-1)*100))
+	}
+	fmt.Println(t.String())
+
+	// Figure 12 in miniature: the restart-period sweep for DDmalloc.
+	t2 := webmm.NewReportTable("DDmalloc restart-period sweep",
+		"restart period", "txns/sec")
+	for _, period := range []int{20, 100, 500, 0} {
+		res := study.RunRubyCell("ddmalloc", period)
+		label := "no restart"
+		if period > 0 {
+			label = fmt.Sprintf("every %d", period)
+		}
+		t2.Add(label, fmt.Sprintf("%.1f", res.Throughput))
+	}
+	fmt.Println(t2.String())
+}

@@ -1,0 +1,3 @@
+module webmm
+
+go 1.22

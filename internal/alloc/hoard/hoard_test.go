@@ -1,0 +1,113 @@
+package hoard
+
+import (
+	"testing"
+
+	"webmm/internal/alloctest"
+	"webmm/internal/heap"
+	"webmm/internal/mem"
+	"webmm/internal/sim"
+)
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func(env *sim.Env) heap.Allocator { return New(env) })
+}
+
+func TestNoFreeAll(t *testing.T) {
+	a := New(alloctest.NewEnv(1))
+	if a.SupportsFreeAll() {
+		t.Fatal("Hoard model must not support freeAll")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FreeAll did not panic")
+		}
+	}()
+	a.FreeAll()
+}
+
+func TestObjectsPackInsideSuperblock(t *testing.T) {
+	a := New(alloctest.NewEnv(2))
+	p1 := a.Malloc(64)
+	p2 := a.Malloc(64)
+	if p2-p1 != 64 {
+		t.Fatalf("objects %d bytes apart inside a superblock, want 64", p2-p1)
+	}
+	base1 := p1 &^ mem.Addr(SuperblockSize-1)
+	base2 := p2 &^ mem.Addr(SuperblockSize-1)
+	if base1 != base2 {
+		t.Fatal("two small objects landed in different superblocks")
+	}
+}
+
+func TestSuperblockPerClass(t *testing.T) {
+	a := New(alloctest.NewEnv(3))
+	p1 := a.Malloc(64)
+	p2 := a.Malloc(1024)
+	if p1&^mem.Addr(SuperblockSize-1) == p2&^mem.Addr(SuperblockSize-1) {
+		t.Fatal("different size classes share a superblock")
+	}
+}
+
+func TestFreeReusesWithinSuperblock(t *testing.T) {
+	a := New(alloctest.NewEnv(4))
+	p1 := a.Malloc(128)
+	p2 := a.Malloc(128)
+	a.Free(p2)
+	a.Free(p1)
+	if got := a.Malloc(128); got != p1 {
+		t.Fatalf("LIFO reuse = %#x, want %#x", got, p1)
+	}
+}
+
+func TestFullSuperblockSpawnsAnother(t *testing.T) {
+	a := New(alloctest.NewEnv(5))
+	objSize := uint64(1024)
+	capacity := int((SuperblockSize - superHeader) / objSize)
+	var last heap.Ptr
+	for i := 0; i <= capacity; i++ {
+		last = a.Malloc(objSize)
+	}
+	first := a.Malloc(objSize)
+	_ = first
+	// The over-capacity allocation must be in a second superblock.
+	if a.PeakFootprint() < 2*SuperblockSize {
+		t.Fatalf("footprint %d after overflowing a superblock, want >= 2 superblocks",
+			a.PeakFootprint())
+	}
+	_ = last
+}
+
+func TestEmptinessBookkeepingCost(t *testing.T) {
+	// Hoard's fullness-group moves must make its free path pricier than
+	// TCmalloc's pure push (~13 instructions) on average.
+	env := alloctest.NewEnv(6)
+	a := New(env)
+	var ptrs []heap.Ptr
+	for i := 0; i < 500; i++ {
+		ptrs = append(ptrs, a.Malloc(256))
+	}
+	env.Drain()
+	for _, p := range ptrs {
+		a.Free(p)
+	}
+	instr := env.Drain()
+	perFree := float64(instr[sim.ClassAlloc]) / 500
+	if perFree <= 13 {
+		t.Fatalf("Hoard free cost %.1f instructions, want > 13 (fullness bookkeeping)", perFree)
+	}
+}
+
+func TestLargeObjectsBypassSuperblocks(t *testing.T) {
+	a := New(alloctest.NewEnv(7))
+	p := a.Malloc(SuperblockSize) // > largeCutoff
+	if p == 0 {
+		t.Fatal("large malloc failed")
+	}
+	before := a.PeakFootprint()
+	a.Free(p)
+	a.ResetPeak()
+	if a.PeakFootprint() >= before {
+		t.Fatal("large free did not release the mapping")
+	}
+}

@@ -1,0 +1,66 @@
+package obstack
+
+import (
+	"testing"
+
+	"webmm/internal/alloctest"
+	"webmm/internal/heap"
+	"webmm/internal/sim"
+)
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func(env *sim.Env) heap.Allocator { return New(env, 0) })
+}
+
+func TestChunkGrowthAndFreeAllShrink(t *testing.T) {
+	a := New(alloctest.NewEnv(1), 0)
+	for i := 0; i < 1000; i++ { // ~64 KiB across 4 KiB chunks
+		a.Malloc(64)
+	}
+	grown := a.Chunks()
+	if grown < 10 {
+		t.Fatalf("chunks = %d, want many small chunks", grown)
+	}
+	a.FreeAll()
+	if got := a.Chunks(); got != 1 {
+		t.Fatalf("chunks after FreeAll = %d, want 1 (glibc frees all but the first)", got)
+	}
+}
+
+func TestOversizedObjectGetsOwnChunk(t *testing.T) {
+	a := New(alloctest.NewEnv(2), 0)
+	p := a.Malloc(10000) // larger than the 4 KiB chunk
+	if p == 0 {
+		t.Fatal("oversized malloc failed")
+	}
+	q := a.Malloc(64) // bumping continues in a normal chunk
+	if q == 0 {
+		t.Fatal("small malloc after oversized failed")
+	}
+}
+
+func TestCostlierThanPlainRegion(t *testing.T) {
+	// The paper kept its own region allocator because it "outperformed
+	// the obstack": the small chunks cost more instructions per byte.
+	env := alloctest.NewEnv(3)
+	a := New(env, 0)
+	env.Drain()
+	for i := 0; i < 1000; i++ {
+		a.Malloc(64)
+	}
+	instr := env.Drain()
+	perMalloc := float64(instr[sim.ClassAlloc]) / 1000
+	if perMalloc <= 5 { // the plain region allocator costs 5
+		t.Fatalf("obstack per-malloc cost %.1f, want > 5 (region's cost)", perMalloc)
+	}
+}
+
+func TestCustomChunkSize(t *testing.T) {
+	a := New(alloctest.NewEnv(4), 64*1024)
+	for i := 0; i < 100; i++ {
+		a.Malloc(64)
+	}
+	if got := a.Chunks(); got != 1 {
+		t.Fatalf("chunks = %d, want 1 with a 64 KiB chunk", got)
+	}
+}

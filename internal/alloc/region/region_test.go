@@ -1,0 +1,115 @@
+package region
+
+import (
+	"testing"
+
+	"webmm/internal/alloctest"
+	"webmm/internal/heap"
+	"webmm/internal/mem"
+	"webmm/internal/sim"
+)
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func(env *sim.Env) heap.Allocator { return New(env) })
+}
+
+func TestBumpPointerIsSequential(t *testing.T) {
+	a := New(alloctest.NewEnv(1))
+	p1 := a.Malloc(24)
+	p2 := a.Malloc(24)
+	p3 := a.Malloc(100)
+	if p2-p1 != 24 {
+		t.Fatalf("second object %d bytes after first, want 24 (pure bump)", p2-p1)
+	}
+	if p3-p2 != 24 {
+		t.Fatalf("third object %d bytes after second, want 24", p3-p2)
+	}
+}
+
+func TestRoundsToEightBytes(t *testing.T) {
+	a := New(alloctest.NewEnv(2))
+	p1 := a.Malloc(3)
+	p2 := a.Malloc(3)
+	if p2-p1 != 8 {
+		t.Fatalf("3-byte objects %d apart, want 8 (paper: rounds to multiple of 8)", p2-p1)
+	}
+}
+
+func TestFreeDoesNotReuse(t *testing.T) {
+	a := New(alloctest.NewEnv(3))
+	p := a.Malloc(64)
+	a.Free(p) // no-op by design
+	q := a.Malloc(64)
+	if q == p {
+		t.Fatal("region allocator reused a freed object; per-object free must be a no-op")
+	}
+}
+
+func TestFreeAllResetsToChunkStart(t *testing.T) {
+	a := New(alloctest.NewEnv(4))
+	first := a.Malloc(64)
+	for i := 0; i < 10000; i++ {
+		a.Malloc(512)
+	}
+	a.FreeAll()
+	if got := a.Malloc(64); got != first {
+		t.Fatalf("post-FreeAll malloc = %#x, want chunk start %#x", got, first)
+	}
+}
+
+func TestSingleChunkSufficesForTypicalTransaction(t *testing.T) {
+	// Paper: "One 256 MB chunk was large enough for most of the PHP
+	// transactions and additional chunks were rarely needed."
+	env := alloctest.NewEnv(5)
+	a := New(env)
+	for txn := 0; txn < 20; txn++ {
+		for i := 0; i < 150000; i++ { // MediaWiki-scale malloc count
+			a.Malloc(64)
+		}
+		a.FreeAll()
+		env.Drain() // keep the event buffer bounded
+	}
+	if got := a.Chunks(); got != 1 {
+		t.Fatalf("used %d chunks, want 1", got)
+	}
+}
+
+func TestOverflowMapsSecondChunk(t *testing.T) {
+	a := New(alloctest.NewEnv(6))
+	// Allocate past 256 MB in one transaction.
+	for i := uint64(0); i < ChunkSize/(64*mem.KiB)+2; i++ {
+		a.Malloc(64 * mem.KiB)
+	}
+	if got := a.Chunks(); got != 2 {
+		t.Fatalf("chunks = %d, want 2 after overflow", got)
+	}
+}
+
+func TestPeakFootprintIsPerTransactionAllocation(t *testing.T) {
+	a := New(alloctest.NewEnv(7))
+	a.ResetPeak()
+	for i := 0; i < 1000; i++ {
+		a.Malloc(1024)
+	}
+	got := a.PeakFootprint()
+	want := uint64(1000 * 1024)
+	if got != want {
+		t.Fatalf("PeakFootprint = %d, want %d (bytes allocated during the transaction)", got, want)
+	}
+	a.FreeAll()
+	a.ResetPeak()
+	if a.PeakFootprint() != 0 {
+		t.Fatal("footprint not reset after FreeAll+ResetPeak")
+	}
+}
+
+func TestMallocCostIsTiny(t *testing.T) {
+	env := alloctest.NewEnv(8)
+	a := New(env)
+	env.Drain()
+	a.Malloc(64)
+	instr := env.Drain()
+	if instr[sim.ClassAlloc] > 10 {
+		t.Fatalf("region malloc cost %d instructions, want <= 10", instr[sim.ClassAlloc])
+	}
+}

@@ -1,0 +1,125 @@
+package tcm
+
+import (
+	"testing"
+
+	"webmm/internal/alloctest"
+	"webmm/internal/heap"
+	"webmm/internal/sim"
+)
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func(env *sim.Env) heap.Allocator { return New(env) })
+}
+
+func TestNoFreeAll(t *testing.T) {
+	a := New(alloctest.NewEnv(1))
+	if a.SupportsFreeAll() {
+		t.Fatal("TCmalloc model must not support freeAll")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FreeAll did not panic")
+		}
+	}()
+	a.FreeAll()
+}
+
+func TestThreadCacheLIFO(t *testing.T) {
+	a := New(alloctest.NewEnv(2))
+	p1 := a.Malloc(64)
+	p2 := a.Malloc(64)
+	a.Free(p1)
+	a.Free(p2)
+	if got := a.Malloc(64); got != p2 {
+		t.Fatalf("thread-cache reuse = %#x, want most recent %#x", got, p2)
+	}
+}
+
+func TestFastPathCost(t *testing.T) {
+	env := alloctest.NewEnv(3)
+	a := New(env)
+	p := a.Malloc(64)
+	a.Free(p)
+	env.Drain()
+	q := a.Malloc(64) // cache hit
+	a.Free(q)
+	instr := env.Drain()
+	if instr[sim.ClassAlloc] > 45 {
+		t.Fatalf("warm malloc+free pair cost %d instructions, want <= 45", instr[sim.ClassAlloc])
+	}
+}
+
+func TestScavengeTriggersAtThreshold(t *testing.T) {
+	env := alloctest.NewEnv(4)
+	a := New(env)
+	// Allocate enough live objects that freeing them all must push the
+	// thread cache past its 2 MB limit.
+	n := int(cacheLimit/(16*1024)) + 16
+	ptrs := make([]heap.Ptr, n)
+	for i := range ptrs {
+		ptrs[i] = a.Malloc(16 * 1024)
+	}
+	env.Drain()
+	var maxCost uint64
+	for _, p := range ptrs {
+		before := env.Instructions()[sim.ClassAlloc]
+		a.Free(p)
+		if cost := env.Instructions()[sim.ClassAlloc] - before; cost > maxCost {
+			maxCost = cost
+		}
+	}
+	// The scavenge must have kept the cache at or below the limit...
+	if a.CacheBytes() > cacheLimit {
+		t.Fatalf("cache bytes %d exceed the %d limit; scavenge missing", a.CacheBytes(), cacheLimit)
+	}
+	// ...and one of the frees must have paid the sweep: the delayed
+	// defragmentation the paper contrasts with DDmalloc.
+	if maxCost < 500 {
+		t.Fatalf("max single-free cost %d instructions; scavenge sweep not visible", maxCost)
+	}
+}
+
+func TestBatchRefillFromCentral(t *testing.T) {
+	a := New(alloctest.NewEnv(5))
+	// First allocation of a class pulls a batch; the following
+	// batchSize-1 allocations are cache hits carved from the same span.
+	p1 := a.Malloc(64)
+	for i := 1; i < batchSize; i++ {
+		p := a.Malloc(64)
+		if p == 0 {
+			t.Fatal("null from cached batch")
+		}
+	}
+	if p1 == 0 {
+		t.Fatal("null first allocation")
+	}
+	s := a.Stats()
+	if s.Mallocs != batchSize {
+		t.Fatalf("Mallocs = %d, want %d", s.Mallocs, batchSize)
+	}
+}
+
+func TestSpanRoundTrip(t *testing.T) {
+	// Objects released by a scavenge must be reusable afterwards.
+	a := New(alloctest.NewEnv(6))
+	seen := map[heap.Ptr]bool{}
+	var ptrs []heap.Ptr
+	for i := 0; i < 2000; i++ {
+		p := a.Malloc(2048)
+		seen[p] = true
+		ptrs = append(ptrs, p)
+	}
+	for _, p := range ptrs {
+		a.Free(p) // triggers scavenges along the way
+	}
+	reused := 0
+	for i := 0; i < 2000; i++ {
+		if seen[a.Malloc(2048)] {
+			reused++
+		}
+	}
+	if reused < 1900 {
+		t.Fatalf("only %d/2000 objects reused after scavenge round trip", reused)
+	}
+}

@@ -1,0 +1,87 @@
+package zend
+
+import (
+	"testing"
+	"testing/quick"
+
+	"webmm/internal/alloctest"
+	"webmm/internal/heap"
+	"webmm/internal/sim"
+)
+
+// TestTilingInvariantProperty drives random malloc/free/realloc/freeAll
+// sequences and verifies after every phase that the boundary-tag chain
+// still tiles each segment exactly — the invariant every defragmenting
+// allocator lives or dies by.
+func TestTilingInvariantProperty(t *testing.T) {
+	f := func(seed uint64, sizes []uint16) bool {
+		env := alloctest.NewEnv(seed)
+		a := New(env)
+		rng := sim.NewRNG(seed)
+		var live []heap.Ptr
+		liveSize := map[heap.Ptr]uint64{}
+		for _, raw := range sizes {
+			size := uint64(raw)%3000 + 1
+			switch {
+			case len(live) > 0 && rng.Bool(0.4):
+				k := rng.Intn(len(live))
+				a.Free(live[k])
+				delete(liveSize, live[k])
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+			case len(live) > 0 && rng.Bool(0.15):
+				k := rng.Intn(len(live))
+				old := liveSize[live[k]]
+				np := a.Realloc(live[k], old, size)
+				delete(liveSize, live[k])
+				live[k] = np
+				liveSize[np] = size
+			default:
+				p := a.Malloc(size)
+				live = append(live, p)
+				liveSize[p] = size
+			}
+			env.Drain()
+		}
+		if err := a.CheckTiling(); err != nil {
+			t.Logf("mid-run tiling violation: %v", err)
+			return false
+		}
+		a.FreeAll()
+		if err := a.CheckTiling(); err != nil {
+			t.Logf("post-FreeAll tiling violation: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCacheFlushRestoresCoalescing floods the fast cache so it flushes,
+// then verifies the flushed blocks merged back into coherent free space.
+func TestCacheFlushRestoresCoalescing(t *testing.T) {
+	env := alloctest.NewEnv(7)
+	a := New(env)
+	var ptrs []heap.Ptr
+	for i := 0; i < 3000; i++ { // ~430 KiB of 128B blocks: several flushes
+		ptrs = append(ptrs, a.Malloc(128))
+	}
+	for _, p := range ptrs {
+		a.Free(p)
+	}
+	if err := a.CheckTiling(); err != nil {
+		t.Fatal(err)
+	}
+	// After the churn, a large allocation must be servable from the
+	// coalesced space without mapping another segment.
+	segs := a.Segments()
+	if p := a.Malloc(100 * 1024); p == 0 {
+		t.Fatal("large malloc failed after coalescing")
+	}
+	if a.Segments() != segs {
+		t.Fatalf("coalescing failed: large malloc needed a new segment (%d -> %d)",
+			segs, a.Segments())
+	}
+}

@@ -1,0 +1,224 @@
+// Package alloctest provides a conformance suite that every allocator in
+// the study must pass. Each allocator package's tests invoke Run with a
+// constructor; allocator-specific behaviour (coalescing, scavenging,
+// fullness groups, ...) is tested in the allocator's own package.
+package alloctest
+
+import (
+	"testing"
+
+	"webmm/internal/heap"
+	"webmm/internal/mem"
+	"webmm/internal/sim"
+)
+
+// NewEnv builds a fresh Env for allocator construction in tests.
+func NewEnv(seed uint64) *sim.Env {
+	as := mem.NewAddressSpace(0, 1<<41, mem.LargePageShiftXeon)
+	return sim.NewEnv(as, sim.NewCodeLayout(16*mem.KiB, 128*mem.KiB), seed)
+}
+
+// Maker constructs the allocator under test against the given Env.
+type Maker func(env *sim.Env) heap.Allocator
+
+// Run executes the conformance suite.
+func Run(t *testing.T, mk Maker) {
+	t.Run("DistinctLiveAddresses", func(t *testing.T) { distinctLive(t, mk) })
+	t.Run("Alignment", func(t *testing.T) { alignment(t, mk) })
+	t.Run("StatsCounting", func(t *testing.T) { statsCounting(t, mk) })
+	t.Run("ReallocGrowShrink", func(t *testing.T) { reallocGrowShrink(t, mk) })
+	t.Run("EmitsAllocatorWork", func(t *testing.T) { emitsWork(t, mk) })
+	t.Run("FootprintGrowsAndResets", func(t *testing.T) { footprint(t, mk) })
+	t.Run("FreeReuse", func(t *testing.T) { freeReuse(t, mk) })
+	t.Run("FreeAllReuse", func(t *testing.T) { freeAllReuse(t, mk) })
+	t.Run("SizeSweep", func(t *testing.T) { sizeSweep(t, mk) })
+}
+
+func distinctLive(t *testing.T, mk Maker) {
+	a := mk(NewEnv(1))
+	live := map[heap.Ptr]uint64{}
+	rng := sim.NewRNG(2)
+	for i := 0; i < 3000; i++ {
+		size := rng.Uint64n(1500) + 1
+		p := a.Malloc(size)
+		if p == 0 {
+			t.Fatalf("Malloc(%d) returned null", size)
+		}
+		if old, dup := live[p]; dup {
+			t.Fatalf("address %#x (size %d) already live with size %d", p, size, old)
+		}
+		live[p] = size
+		if a.SupportsFree() && rng.Bool(0.5) && len(live) > 1 {
+			for q := range live {
+				a.Free(q)
+				delete(live, q)
+				break
+			}
+		}
+	}
+}
+
+func alignment(t *testing.T, mk Maker) {
+	a := mk(NewEnv(3))
+	for _, size := range []uint64{1, 7, 8, 13, 100, 1000, 5000} {
+		p := a.Malloc(size)
+		if uint64(p)%8 != 0 {
+			t.Errorf("Malloc(%d) = %#x, not 8-byte aligned", size, p)
+		}
+	}
+}
+
+func statsCounting(t *testing.T, mk Maker) {
+	a := mk(NewEnv(4))
+	p := a.Malloc(100)
+	q := a.Malloc(200)
+	_ = q
+	if a.SupportsFree() {
+		a.Free(p)
+	}
+	s := a.Stats()
+	if s.Mallocs < 2 {
+		t.Errorf("Mallocs = %d, want >= 2", s.Mallocs)
+	}
+	if s.BytesRequested < 300 {
+		t.Errorf("BytesRequested = %d, want >= 300", s.BytesRequested)
+	}
+	if s.BytesAllocated < s.BytesRequested {
+		t.Errorf("BytesAllocated %d < BytesRequested %d (rounding must not shrink)",
+			s.BytesAllocated, s.BytesRequested)
+	}
+}
+
+func reallocGrowShrink(t *testing.T, mk Maker) {
+	a := mk(NewEnv(5))
+	p := a.Malloc(64)
+	q := a.Realloc(p, 64, 4096)
+	if q == 0 {
+		t.Fatal("grow realloc returned null")
+	}
+	r := a.Realloc(q, 4096, 16)
+	if r == 0 {
+		t.Fatal("shrink realloc returned null")
+	}
+	if got := a.Stats().Reallocs; got != 2 {
+		t.Errorf("Reallocs = %d, want 2", got)
+	}
+}
+
+func emitsWork(t *testing.T, mk Maker) {
+	env := NewEnv(6)
+	a := mk(env)
+	env.Drain()
+	p := a.Malloc(128)
+	if a.SupportsFree() {
+		a.Free(p)
+	}
+	instr := env.Instructions()
+	if instr[sim.ClassAlloc] == 0 {
+		t.Fatal("allocator emitted no ClassAlloc instructions")
+	}
+	if instr[sim.ClassApp] != 0 {
+		t.Fatalf("allocator emitted %d application instructions", instr[sim.ClassApp])
+	}
+}
+
+func footprint(t *testing.T, mk Maker) {
+	a := mk(NewEnv(7))
+	a.ResetPeak()
+	base := a.PeakFootprint()
+	var ptrs []heap.Ptr
+	for i := 0; i < 4000; i++ {
+		ptrs = append(ptrs, a.Malloc(1024))
+	}
+	grown := a.PeakFootprint()
+	if grown < base+2*mem.MiB {
+		t.Errorf("footprint %d -> %d after 4 MiB of allocation", base, grown)
+	}
+	// Release and reset: peak must not keep growing on its own.
+	switch {
+	case a.SupportsFreeAll():
+		a.FreeAll()
+	case a.SupportsFree():
+		for _, p := range ptrs {
+			a.Free(p)
+		}
+	}
+	a.ResetPeak()
+	after := a.PeakFootprint()
+	if after > grown {
+		t.Errorf("footprint after release/reset = %d > peak %d", after, grown)
+	}
+}
+
+func freeReuse(t *testing.T, mk Maker) {
+	a := mk(NewEnv(8))
+	if !a.SupportsFree() {
+		t.Skip("allocator has no per-object free")
+	}
+	// Free then reallocate the same sizes: memory must be reused, not
+	// grown (this is the bus-traffic property the paper cares about).
+	var ptrs []heap.Ptr
+	for i := 0; i < 2000; i++ {
+		ptrs = append(ptrs, a.Malloc(256))
+	}
+	for _, p := range ptrs {
+		a.Free(p)
+	}
+	a.ResetPeak()
+	peak := a.PeakFootprint()
+	reused := 0
+	seen := map[heap.Ptr]bool{}
+	for _, p := range ptrs {
+		seen[p] = true
+	}
+	for i := 0; i < 2000; i++ {
+		if seen[a.Malloc(256)] {
+			reused++
+		}
+	}
+	if reused < 1800 {
+		t.Errorf("only %d/2000 freed objects were reused", reused)
+	}
+	if got := a.PeakFootprint(); got > peak+mem.MiB {
+		t.Errorf("footprint grew from %d to %d despite free-list reuse", peak, got)
+	}
+}
+
+func freeAllReuse(t *testing.T, mk Maker) {
+	a := mk(NewEnv(9))
+	if !a.SupportsFreeAll() {
+		t.Skip("allocator has no bulk free")
+	}
+	for txn := 0; txn < 5; txn++ {
+		for i := 0; i < 1000; i++ {
+			if p := a.Malloc(128); p == 0 {
+				t.Fatal("null after FreeAll")
+			}
+		}
+		a.FreeAll()
+		a.ResetPeak()
+	}
+	// Footprint must be bounded: transaction 5 must not use 5x the
+	// memory of transaction 1.
+	for i := 0; i < 1000; i++ {
+		a.Malloc(128)
+	}
+	if fp := a.PeakFootprint(); fp > 64*mem.MiB {
+		t.Errorf("footprint %d after repeated FreeAll; heap is leaking across transactions", fp)
+	}
+}
+
+func sizeSweep(t *testing.T, mk Maker) {
+	a := mk(NewEnv(10))
+	// Exercise every size regime including large objects.
+	for _, size := range []uint64{1, 8, 64, 127, 128, 129, 511, 512, 513,
+		1024, 4096, 16 * 1024, 64 * 1024, 300 * 1024} {
+		p := a.Malloc(size)
+		if p == 0 {
+			t.Fatalf("Malloc(%d) = null", size)
+		}
+		if a.SupportsFree() {
+			a.Free(p)
+		}
+	}
+}

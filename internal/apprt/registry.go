@@ -1,0 +1,78 @@
+// Package apprt models the application runtimes that host the allocators:
+// the PHP runtime (one transaction per request, freeAll at request end —
+// §4.2) and the Ruby runtime (no freeAll, long-lived processes with
+// periodic restarts — §4.4). Each runtime implements machine.Driver for one
+// runtime process pinned to one hardware thread.
+package apprt
+
+import (
+	"fmt"
+
+	"webmm/internal/alloc/dlm"
+	"webmm/internal/alloc/hoard"
+	"webmm/internal/alloc/obstack"
+	"webmm/internal/alloc/reap"
+	"webmm/internal/alloc/region"
+	"webmm/internal/alloc/tcm"
+	"webmm/internal/alloc/zend"
+	"webmm/internal/core"
+	"webmm/internal/heap"
+	"webmm/internal/mem"
+	"webmm/internal/sim"
+)
+
+// AllocOptions configure allocator construction.
+type AllocOptions struct {
+	// LargePages enables DDmalloc's large-page heap (§3.3 optimization
+	// 2; the paper enables it on Niagara, disables it on Xeon).
+	LargePages bool
+	// PID is the process id used for DDmalloc's metadata displacement
+	// (§3.3 optimization 1).
+	PID int
+}
+
+// AllocatorNames lists the valid names for NewAllocator, PHP-study
+// allocators first.
+func AllocatorNames() []string {
+	return []string{"default", "region", "ddmalloc", "obstack", "reap", "glibc", "hoard", "tcmalloc"}
+}
+
+// AllocCodeSize returns the simulated code footprint of the named
+// allocator, used to build the machine's code layout before any runtime
+// exists.
+func AllocCodeSize(name string) (uint64, error) {
+	as := mem.NewAddressSpace(0, 1<<36, mem.LargePageShiftXeon)
+	env := sim.NewEnv(as, sim.NewCodeLayout(4096, 4096), 0)
+	a, err := NewAllocator(name, env, AllocOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return a.CodeSize(), nil
+}
+
+// NewAllocator constructs an allocator by report name.
+func NewAllocator(name string, env *sim.Env, opts AllocOptions) (heap.Allocator, error) {
+	switch name {
+	case "default":
+		return zend.New(env), nil
+	case "region":
+		return region.New(env), nil
+	case "ddmalloc":
+		ddOpts := core.DefaultOptions()
+		ddOpts.LargePages = opts.LargePages
+		ddOpts.PID = opts.PID
+		return core.New(env, ddOpts), nil
+	case "obstack":
+		return obstack.New(env, 0), nil
+	case "reap":
+		return reap.New(env), nil
+	case "glibc":
+		return dlm.New(env), nil
+	case "hoard":
+		return hoard.New(env), nil
+	case "tcmalloc":
+		return tcm.New(env), nil
+	default:
+		return nil, fmt.Errorf("apprt: unknown allocator %q (valid: %v)", name, AllocatorNames())
+	}
+}

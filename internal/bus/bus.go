@@ -1,0 +1,47 @@
+// Package bus models the shared memory interconnect whose finite bandwidth
+// is the paper's central multicore bottleneck.
+//
+// The paper (Section 1) attributes the region allocator's 8-core slowdown to
+// "hidden costs of increased bus traffics": every bus transaction moves one
+// cache line, and when the aggregate demand of all cores approaches the
+// bus's transfer capacity, memory latency inflates for everyone. We model
+// that with an open queueing approximation: the effective memory latency is
+// the unloaded latency times 1/(1-u), where u is bus utilization, capped so
+// the fixed-point solve stays stable.
+package bus
+
+// Model describes a shared front-side bus or memory interconnect.
+type Model struct {
+	// BytesPerCycle is the transfer capacity per core-clock cycle.
+	// (Expressing bandwidth in core cycles keeps the solver unit-free:
+	// utilization = busBytes / (BytesPerCycle * wallCycles).)
+	BytesPerCycle float64
+	// BytesPerTxn is the payload of one bus transaction (a cache line).
+	BytesPerTxn float64
+	// MaxUtil caps utilization in the queueing formula; beyond it the
+	// bus is saturated and latency is pinned at the cap's multiplier.
+	MaxUtil float64
+}
+
+// Utilization returns the fraction of bus capacity consumed by busTxns
+// transactions over wallCycles cycles (uncapped; may exceed 1 when the
+// offered load is infeasible, which the solver resolves by stretching time).
+func (m Model) Utilization(busTxns uint64, wallCycles float64) float64 {
+	if wallCycles <= 0 {
+		return m.MaxUtil
+	}
+	return float64(busTxns) * m.BytesPerTxn / (m.BytesPerCycle * wallCycles)
+}
+
+// LatencyMultiplier converts a utilization into the factor by which queueing
+// inflates memory latency: 1/(1-u) with u capped at MaxUtil.
+func (m Model) LatencyMultiplier(util float64) float64 {
+	u := util
+	if u < 0 {
+		u = 0
+	}
+	if u > m.MaxUtil {
+		u = m.MaxUtil
+	}
+	return 1 / (1 - u)
+}

@@ -1,0 +1,69 @@
+package bus
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func model() Model {
+	return Model{BytesPerCycle: 5.4, BytesPerTxn: 64, MaxUtil: 0.93}
+}
+
+func TestUtilizationScalesWithTraffic(t *testing.T) {
+	m := model()
+	u1 := m.Utilization(1000, 1e6)
+	u2 := m.Utilization(2000, 1e6)
+	if math.Abs(u2-2*u1) > 1e-12 {
+		t.Fatalf("utilization not linear in traffic: %g vs %g", u1, u2)
+	}
+	u3 := m.Utilization(1000, 2e6)
+	if math.Abs(u3-u1/2) > 1e-12 {
+		t.Fatalf("utilization not inverse in time: %g vs %g", u1, u3)
+	}
+}
+
+func TestLatencyMultiplierMonotone(t *testing.T) {
+	m := model()
+	prev := 0.0
+	for u := 0.0; u <= 1.5; u += 0.01 {
+		mult := m.LatencyMultiplier(u)
+		if mult < prev {
+			t.Fatalf("multiplier decreased at u=%.2f: %g < %g", u, mult, prev)
+		}
+		prev = mult
+	}
+}
+
+func TestLatencyMultiplierBounds(t *testing.T) {
+	m := model()
+	if got := m.LatencyMultiplier(0); got != 1 {
+		t.Errorf("idle bus multiplier = %g, want 1", got)
+	}
+	capped := m.LatencyMultiplier(5.0)
+	want := 1 / (1 - m.MaxUtil)
+	if math.Abs(capped-want) > 1e-9 {
+		t.Errorf("saturated multiplier = %g, want %g", capped, want)
+	}
+	if got := m.LatencyMultiplier(-1); got != 1 {
+		t.Errorf("negative utilization multiplier = %g, want 1", got)
+	}
+}
+
+func TestZeroWallClockSaturates(t *testing.T) {
+	m := model()
+	if u := m.Utilization(100, 0); u != m.MaxUtil {
+		t.Errorf("zero-time utilization = %g, want MaxUtil", u)
+	}
+}
+
+func TestMultiplierAlwaysAtLeastOneProperty(t *testing.T) {
+	m := model()
+	f := func(txns uint32, cycles uint32) bool {
+		u := m.Utilization(uint64(txns), float64(cycles))
+		return m.LatencyMultiplier(u) >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

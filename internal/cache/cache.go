@@ -1,0 +1,222 @@
+// Package cache implements the hardware models of the memory hierarchy:
+// set-associative write-back caches, a data TLB, and a stream prefetcher.
+//
+// These are the substrate the paper measures *on*: its central result — the
+// region allocator's bus-traffic blow-up on eight cores versus DDmalloc's
+// cache reuse — is an interaction between allocator address behaviour and
+// exactly these structures. The models are trace-driven and deterministic:
+// they classify each access (hit, L2 hit, memory) and report evictions; all
+// latency pricing happens in internal/machine.
+package cache
+
+import (
+	"fmt"
+
+	"webmm/internal/mem"
+)
+
+// Victim describes a line evicted by an install.
+type Victim struct {
+	Line  uint64
+	Dirty bool
+	Valid bool
+}
+
+// Config sizes a cache.
+type Config struct {
+	Name string
+	// Size is the capacity in bytes.
+	Size uint64
+	// Ways is the associativity.
+	Ways int
+}
+
+// Sets returns the number of sets implied by the config.
+func (c Config) Sets() int {
+	sets := int(c.Size) / mem.LineSize / c.Ways
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: %d sets (size %d, ways %d) is not a power of two",
+			c.Name, sets, c.Size, c.Ways))
+	}
+	return sets
+}
+
+// Cache is a set-associative, write-back, write-allocate cache with LRU
+// replacement. Tags are full line numbers, so distinct simulated addresses
+// never alias.
+type Cache struct {
+	cfg     Config
+	sets    int
+	ways    int
+	setMask uint64
+
+	tags  []uint64 // sets*ways; 0 means invalid (line 0 is never used)
+	stamp []uint32 // LRU stamps
+	flags []uint8  // bit 0 dirty, bit 1 prefetched-not-yet-used
+	tick  uint32
+
+	// Counters are cumulative for the life of the cache (Reset clears).
+	Hits, Misses       uint64
+	Writebacks         uint64
+	PrefetchInstalls   uint64
+	PrefetchUsefulHits uint64
+}
+
+const (
+	flagDirty      = 1 << 0
+	flagPrefetched = 1 << 1
+)
+
+// New builds a cache from cfg.
+func New(cfg Config) *Cache {
+	sets := cfg.Sets()
+	n := sets * cfg.Ways
+	return &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		ways:    cfg.Ways,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, n),
+		stamp:   make([]uint32, n),
+		flags:   make([]uint8, n),
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access looks up line, installing it on a miss. write marks the line dirty.
+// It returns whether the access hit, whether the hit line had been brought
+// in by the prefetcher and not yet used (the "prefetch hid this miss" case),
+// and the victim evicted to make room on a miss.
+func (c *Cache) Access(line uint64, write bool) (hit, prefetched bool, victim Victim) {
+	set := int(line&c.setMask) * c.ways
+	c.tick++
+	for w := 0; w < c.ways; w++ {
+		i := set + w
+		if c.tags[i] == line {
+			c.Hits++
+			c.stamp[i] = c.tick
+			if write {
+				c.flags[i] |= flagDirty
+			}
+			if c.flags[i]&flagPrefetched != 0 {
+				c.flags[i] &^= flagPrefetched
+				c.PrefetchUsefulHits++
+				return true, true, Victim{}
+			}
+			return true, false, Victim{}
+		}
+	}
+	c.Misses++
+	victim = c.install(set, line, write, false)
+	return false, false, victim
+}
+
+// Install brings line into the cache without counting a demand access; the
+// prefetcher uses it. It reports whether the line was actually installed
+// (false if already resident — no bus transfer happens then) and the victim
+// evicted to make room.
+func (c *Cache) Install(line uint64, prefetch bool) (installed bool, victim Victim) {
+	set := int(line&c.setMask) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[set+w] == line {
+			return false, Victim{}
+		}
+	}
+	if prefetch {
+		c.PrefetchInstalls++
+	}
+	return true, c.install(set, line, false, prefetch)
+}
+
+func (c *Cache) install(set int, line uint64, write, prefetch bool) Victim {
+	c.tick++
+	oldest := set
+	for w := 1; w < c.ways; w++ {
+		i := set + w
+		if c.tags[i] == 0 {
+			oldest = i
+			break
+		}
+		if c.stamp[i] < c.stamp[oldest] {
+			oldest = i
+		}
+	}
+	var victim Victim
+	if c.tags[oldest] != 0 {
+		victim = Victim{
+			Line:  c.tags[oldest],
+			Dirty: c.flags[oldest]&flagDirty != 0,
+			Valid: true,
+		}
+		if victim.Dirty {
+			c.Writebacks++
+		}
+	}
+	c.tags[oldest] = line
+	c.stamp[oldest] = c.tick
+	var f uint8
+	if write {
+		f |= flagDirty
+	}
+	if prefetch {
+		f |= flagPrefetched
+	}
+	c.flags[oldest] = f
+	return victim
+}
+
+// WriteBack absorbs a dirty line evicted from an upper-level cache: if the
+// line is resident it is marked dirty; otherwise it is installed dirty. The
+// returned victim may itself be dirty, propagating the writeback downward.
+// WriteBack does not count as a demand hit or miss.
+func (c *Cache) WriteBack(line uint64) Victim {
+	set := int(line&c.setMask) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := set + w
+		if c.tags[i] == line {
+			c.flags[i] |= flagDirty
+			return Victim{}
+		}
+	}
+	return c.install(set, line, true, false)
+}
+
+// Contains reports whether line is resident (no state change).
+func (c *Cache) Contains(line uint64) bool {
+	set := int(line&c.setMask) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[set+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops line if resident, returning whether it was dirty.
+func (c *Cache) Invalidate(line uint64) (wasDirty bool) {
+	set := int(line&c.setMask) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := set + w
+		if c.tags[i] == line {
+			wasDirty = c.flags[i]&flagDirty != 0
+			c.tags[i] = 0
+			c.flags[i] = 0
+			return wasDirty
+		}
+	}
+	return false
+}
+
+// Reset empties the cache and clears its counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamp[i] = 0
+		c.flags[i] = 0
+	}
+	c.tick = 0
+	c.Hits, c.Misses, c.Writebacks = 0, 0, 0
+	c.PrefetchInstalls, c.PrefetchUsefulHits = 0, 0
+}

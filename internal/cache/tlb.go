@@ -1,0 +1,70 @@
+package cache
+
+// TLB models a fully-associative data TLB with LRU replacement.
+//
+// The paper reports D-TLB misses per web transaction (Figure 8) and a >60 %
+// D-TLB miss reduction from DDmalloc's large-page optimization. Entries are
+// keyed by (page number, page shift) so 4 KiB and large pages coexist; a
+// large page covers 512-1024x the address range of a small one, which is the
+// entire mechanism behind the optimization.
+type TLB struct {
+	entries int
+	keys    []uint64
+	stamp   []uint32
+	tick    uint32
+
+	Hits, Misses uint64
+}
+
+// NewTLB returns a TLB with the given number of entries.
+func NewTLB(entries int) *TLB {
+	return &TLB{
+		entries: entries,
+		keys:    make([]uint64, entries),
+		stamp:   make([]uint32, entries),
+	}
+}
+
+// Key builds the lookup key for an address with the given page shift.
+func Key(addr uint64, pageShift uint8) uint64 {
+	// Shift occupies the low 6 bits; page numbers fit comfortably above.
+	return (addr>>pageShift)<<6 | uint64(pageShift)
+}
+
+// Access looks up key, filling the TLB on a miss, and reports a hit.
+func (t *TLB) Access(key uint64) bool {
+	t.tick++
+	free, lru := -1, -1
+	for i := 0; i < t.entries; i++ {
+		switch {
+		case t.keys[i] == key:
+			t.Hits++
+			t.stamp[i] = t.tick
+			return true
+		case t.keys[i] == 0:
+			if free < 0 {
+				free = i
+			}
+		case lru < 0 || t.stamp[i] < t.stamp[lru]:
+			lru = i
+		}
+	}
+	t.Misses++
+	slot := free
+	if slot < 0 {
+		slot = lru
+	}
+	t.keys[slot] = key
+	t.stamp[slot] = t.tick
+	return false
+}
+
+// Reset empties the TLB and clears its counters.
+func (t *TLB) Reset() {
+	for i := range t.keys {
+		t.keys[i] = 0
+		t.stamp[i] = 0
+	}
+	t.tick = 0
+	t.Hits, t.Misses = 0, 0
+}

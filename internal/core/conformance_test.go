@@ -1,0 +1,30 @@
+package core_test
+
+import (
+	"testing"
+
+	"webmm/internal/alloctest"
+	"webmm/internal/core"
+	"webmm/internal/heap"
+	"webmm/internal/sim"
+)
+
+// TestConformance runs the shared allocator suite against DDmalloc with the
+// paper's configuration and with the §3.3 optimizations enabled.
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func(env *sim.Env) heap.Allocator {
+		return core.New(env, core.DefaultOptions())
+	})
+}
+
+func TestConformanceLargePagesAndPID(t *testing.T) {
+	alloctest.Run(t, func(env *sim.Env) heap.Allocator {
+		return core.New(env, core.Options{LargePages: true, PID: 17})
+	})
+}
+
+func TestConformanceSmallSegments(t *testing.T) {
+	alloctest.Run(t, func(env *sim.Env) heap.Allocator {
+		return core.New(env, core.Options{SegmentSize: 8 * 1024})
+	})
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"webmm/internal/heap"
+	"webmm/internal/mem"
+	"webmm/internal/sim"
+)
+
+func newDD(t testing.TB, opt Options) (*DDmalloc, *sim.Env) {
+	t.Helper()
+	as := mem.NewAddressSpace(0, 1<<40, mem.LargePageShiftXeon)
+	env := sim.NewEnv(as, sim.NewCodeLayout(4*mem.KiB, 128*mem.KiB), 1)
+	return New(env, opt), env
+}
+
+func TestMallocReturnsAlignedDistinctAddresses(t *testing.T) {
+	d, _ := newDD(t, DefaultOptions())
+	seen := map[heap.Ptr]bool{}
+	for i := 0; i < 1000; i++ {
+		p := d.Malloc(48)
+		if p == 0 {
+			t.Fatal("Malloc returned null")
+		}
+		if uint64(p)%8 != 0 {
+			t.Fatalf("object %#x not 8-byte aligned", p)
+		}
+		if seen[p] {
+			t.Fatalf("address %#x returned twice while live", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestObjectsOfOneClassPackWithoutHeaders(t *testing.T) {
+	d, _ := newDD(t, DefaultOptions())
+	// Objects of the same class carved from one segment must be exactly
+	// classSize apart: no per-object header (paper §3.2).
+	a := d.Malloc(64)
+	b := d.Malloc(64)
+	if b-a != 64 {
+		t.Fatalf("consecutive 64-byte objects %d bytes apart, want 64 (headerless)", b-a)
+	}
+}
+
+func TestFreeReuseLIFO(t *testing.T) {
+	d, _ := newDD(t, DefaultOptions())
+	p1 := d.Malloc(100)
+	p2 := d.Malloc(100)
+	d.Free(p1)
+	d.Free(p2)
+	// LIFO: the most recently freed object is reused first (paper
+	// Figure 3: "the freed objects are reused in LIFO order").
+	if got := d.Malloc(100); got != p2 {
+		t.Fatalf("first realloc = %#x, want most recently freed %#x", got, p2)
+	}
+	if got := d.Malloc(100); got != p1 {
+		t.Fatalf("second realloc = %#x, want %#x", got, p1)
+	}
+}
+
+func TestSegmentAlignmentRecoversSizeClass(t *testing.T) {
+	d, _ := newDD(t, DefaultOptions())
+	sizes := []uint64{8, 24, 64, 128, 160, 512, 1024, 16384}
+	ptrs := make([]heap.Ptr, len(sizes))
+	for i, s := range sizes {
+		ptrs[i] = d.Malloc(s)
+	}
+	// Free them all; each must land on its own class list and be reused
+	// for the same class.
+	for _, p := range ptrs {
+		d.Free(p)
+	}
+	for i := len(sizes) - 1; i >= 0; i-- {
+		if got := d.Malloc(sizes[i]); got != ptrs[i] {
+			t.Fatalf("size %d: reuse returned %#x, want %#x", sizes[i], got, ptrs[i])
+		}
+	}
+}
+
+func TestDifferentClassesUseDifferentSegments(t *testing.T) {
+	d, _ := newDD(t, DefaultOptions())
+	segSize := DefaultOptions().SegmentSize
+	a := d.Malloc(8)
+	b := d.Malloc(4096)
+	if a&^heap.Ptr(segSize-1) == b&^heap.Ptr(segSize-1) {
+		t.Fatal("two size classes share a segment")
+	}
+}
+
+func TestLargeObjects(t *testing.T) {
+	d, _ := newDD(t, DefaultOptions())
+	segSize := DefaultOptions().SegmentSize
+	p := d.Malloc(3 * segSize) // 3-segment large object
+	if p == 0 || uint64(p)%segSize != 0 {
+		t.Fatalf("large object at %#x, want segment-aligned", p)
+	}
+	before := d.UsedSegments()
+	d.Free(p)
+	if d.UsedSegments() != before-3 {
+		t.Fatalf("large free released %d segments, want 3", before-d.UsedSegments())
+	}
+	// The freed run is recycled for an equal-sized request.
+	if q := d.Malloc(3 * segSize); q != p {
+		t.Fatalf("large run not recycled: got %#x, want %#x", q, p)
+	}
+}
+
+func TestFreeAllResetsHeapToInitialState(t *testing.T) {
+	d, _ := newDD(t, DefaultOptions())
+	first := d.Malloc(64)
+	for i := 0; i < 5000; i++ {
+		d.Malloc(uint64(8 + 8*(i%50)))
+	}
+	d.FreeAll()
+	if d.UsedSegments() != 0 {
+		t.Fatalf("UsedSegments after FreeAll = %d, want 0", d.UsedSegments())
+	}
+	// The next transaction recarves the same (warm) segments from the
+	// bottom of the arena: the very first allocation repeats.
+	if got := d.Malloc(64); got != first {
+		t.Fatalf("first post-FreeAll malloc = %#x, want %#x (warm reuse)", got, first)
+	}
+}
+
+func TestFreeAllCostIsMetadataOnly(t *testing.T) {
+	d, env := newDD(t, DefaultOptions())
+	for i := 0; i < 20000; i++ {
+		d.Malloc(64)
+	}
+	env.Drain()
+	d.FreeAll()
+	var bytes uint64
+	for _, ev := range env.Events() {
+		bytes += uint64(ev.Size)
+	}
+	heapBytes := uint64(20000 * 64)
+	if bytes*20 > heapBytes {
+		t.Fatalf("FreeAll touched %d bytes for a %d-byte heap; metadata-only reset expected",
+			bytes, heapBytes)
+	}
+}
+
+func TestReallocSameClassInPlace(t *testing.T) {
+	d, _ := newDD(t, DefaultOptions())
+	p := d.Malloc(100) // class size 104
+	if q := d.Realloc(p, 100, 103); q != p {
+		t.Fatalf("same-class realloc moved %#x -> %#x", p, q)
+	}
+	q := d.Realloc(p, 103, 300) // class changes
+	if q == p {
+		t.Fatal("cross-class realloc did not move")
+	}
+}
+
+func TestReallocCopiesPayload(t *testing.T) {
+	d, env := newDD(t, DefaultOptions())
+	p := d.Malloc(100)
+	env.Drain()
+	d.Realloc(p, 100, 5000)
+	var sawCopyRead bool
+	for _, ev := range env.Events() {
+		if ev.Kind == sim.Read && ev.Addr == p && ev.Size == 100 {
+			sawCopyRead = true
+		}
+	}
+	if !sawCopyRead {
+		t.Fatal("moving realloc did not read the old payload")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	d, _ := newDD(t, DefaultOptions())
+	p := d.Malloc(10)
+	q := d.Malloc(20)
+	d.Free(p)
+	d.Realloc(q, 20, 600)
+	d.FreeAll()
+	s := d.Stats()
+	if s.Mallocs != 3 { // 2 explicit + 1 inside realloc
+		t.Errorf("Mallocs = %d, want 3", s.Mallocs)
+	}
+	if s.Frees != 2 { // 1 explicit + 1 inside realloc
+		t.Errorf("Frees = %d, want 2", s.Frees)
+	}
+	if s.Reallocs != 1 || s.FreeAlls != 1 {
+		t.Errorf("Reallocs/FreeAlls = %d/%d, want 1/1", s.Reallocs, s.FreeAlls)
+	}
+	if s.BytesRequested != 10+20+600 {
+		t.Errorf("BytesRequested = %d, want 630", s.BytesRequested)
+	}
+}
+
+func TestPeakFootprintTracksSegmentsPlusMetadata(t *testing.T) {
+	d, _ := newDD(t, DefaultOptions())
+	base := d.PeakFootprint()
+	if base == 0 {
+		t.Fatal("metadata footprint missing")
+	}
+	for i := 0; i < 10000; i++ {
+		d.Malloc(512)
+	}
+	grown := d.PeakFootprint()
+	want := uint64(10000 * 512)
+	if grown-base < want {
+		t.Fatalf("footprint grew by %d for %d bytes of objects", grown-base, want)
+	}
+	d.FreeAll()
+	d.ResetPeak()
+	if got := d.PeakFootprint(); got != base {
+		t.Fatalf("footprint after FreeAll+ResetPeak = %d, want %d", got, base)
+	}
+}
+
+func TestMallocFreeInstructionBudget(t *testing.T) {
+	// Defrag dodging means the malloc/free fast paths stay a handful of
+	// instructions. Warm up a free list, then measure a pop+push pair.
+	d, env := newDD(t, DefaultOptions())
+	p := d.Malloc(64)
+	d.Free(p)
+	env.Drain()
+	q := d.Malloc(64)
+	d.Free(q)
+	instr := env.Drain()
+	if instr[sim.ClassAlloc] > 40 {
+		t.Fatalf("warm malloc+free cost %d instructions, want <= 40", instr[sim.ClassAlloc])
+	}
+}
+
+func TestPIDOffsetSeparatesMetadata(t *testing.T) {
+	as := mem.NewAddressSpace(0, 1<<40, mem.LargePageShiftXeon)
+	cl := sim.NewCodeLayout(4*mem.KiB, 128*mem.KiB)
+	d0 := New(sim.NewEnv(as, cl, 1), Options{PID: 0})
+	d1 := New(sim.NewEnv(as, cl, 2), Options{PID: 1})
+	set := func(a mem.Addr) uint64 { return (uint64(a) / 64) % 64 }
+	if set(d0.headsArr) == set(d1.headsArr) {
+		t.Fatalf("metadata of pid 0 and 1 map to the same cache set %d", set(d0.headsArr))
+	}
+}
+
+func TestLargePagesOption(t *testing.T) {
+	d, env := newDD(t, Options{LargePages: true})
+	p := d.Malloc(64)
+	if got := env.AS.PageShift(p); got != mem.LargePageShiftXeon {
+		t.Fatalf("heap page shift = %d, want large page %d", got, mem.LargePageShiftXeon)
+	}
+}
+
+func TestQuickMallocFreeNeverDoubleAllocates(t *testing.T) {
+	d, _ := newDD(t, DefaultOptions())
+	rng := sim.NewRNG(7)
+	live := map[heap.Ptr]uint64{}
+	f := func() bool {
+		for i := 0; i < 200; i++ {
+			if len(live) > 0 && rng.Bool(0.45) {
+				for p := range live {
+					delete(live, p)
+					d.Free(p)
+					break
+				}
+				continue
+			}
+			size := rng.Uint64n(2000) + 1
+			p := d.Malloc(size)
+			if _, dup := live[p]; dup {
+				return false
+			}
+			live[p] = size
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentSizeOptionRespected(t *testing.T) {
+	d, _ := newDD(t, Options{SegmentSize: 64 * mem.KiB})
+	p := d.Malloc(20 * mem.KiB) // below half of 64 KiB: class allocation
+	if p == 0 {
+		t.Fatal("null")
+	}
+	if d.UsedSegments() != 1 {
+		t.Fatalf("UsedSegments = %d, want 1", d.UsedSegments())
+	}
+}

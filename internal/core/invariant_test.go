@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"webmm/internal/heap"
+	"webmm/internal/sim"
+)
+
+// TestLiveObjectsNeverOverlapProperty drives DDmalloc with random
+// malloc/free/realloc/freeAll sequences and checks the fundamental heap
+// invariant: the byte ranges of live objects are pairwise disjoint.
+func TestLiveObjectsNeverOverlapProperty(t *testing.T) {
+	type op struct {
+		Kind byte
+		Size uint16
+	}
+	f := func(seed uint64, ops []op) bool {
+		d, env := newDD(t, DefaultOptions())
+		rng := sim.NewRNG(seed)
+		live := map[heap.Ptr]uint64{} // ptr -> rounded size
+		check := func() bool {
+			type span struct{ lo, hi uint64 }
+			var spans []span
+			for p, sz := range live {
+				spans = append(spans, span{uint64(p), uint64(p) + sz})
+			}
+			for i := range spans {
+				for j := i + 1; j < len(spans); j++ {
+					if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for _, o := range ops {
+			switch o.Kind % 4 {
+			case 0, 1: // malloc-heavy mix
+				size := uint64(o.Size)%4000 + 1
+				p := d.Malloc(size)
+				if _, dup := live[p]; dup {
+					return false
+				}
+				live[p] = heap.RoundedSize(size)
+			case 2:
+				if len(live) == 0 {
+					continue
+				}
+				for p := range live {
+					if rng.Bool(0.5) {
+						d.Free(p)
+						delete(live, p)
+						break
+					}
+				}
+			case 3:
+				if len(live) == 0 || !rng.Bool(0.3) {
+					continue
+				}
+				for p, sz := range live {
+					newSize := uint64(o.Size)%2000 + 1
+					np := d.Realloc(p, sz, newSize)
+					delete(live, p)
+					if _, dup := live[np]; dup {
+						return false
+					}
+					live[np] = heap.RoundedSize(newSize)
+					break
+				}
+			}
+			env.Drain()
+		}
+		if !check() {
+			return false
+		}
+		d.FreeAll()
+		return d.UsedSegments() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSegmentClassConsistencyProperty checks that every live object's
+// segment is dedicated to exactly that object's size class.
+func TestSegmentClassConsistencyProperty(t *testing.T) {
+	d, env := newDD(t, DefaultOptions())
+	rng := sim.NewRNG(99)
+	type rec struct {
+		p    heap.Ptr
+		size uint64
+	}
+	var live []rec
+	for i := 0; i < 5000; i++ {
+		if len(live) > 0 && rng.Bool(0.45) {
+			k := rng.Intn(len(live))
+			d.Free(live[k].p)
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		size := rng.Uint64n(8000) + 1
+		live = append(live, rec{d.Malloc(size), size})
+		env.Drain()
+	}
+	classes := d.SegmentClasses()
+	segSize := DefaultOptions().SegmentSize
+	for _, r := range live {
+		if r.size > segSize/2 || r.size > heap.MaxClassSize {
+			continue // large objects are marked classLarge
+		}
+		si := d.segIndexOf(r.p)
+		want := heap.SizeToClass(r.size)
+		if int(classes[si]) != want {
+			t.Fatalf("object %#x (size %d, class %d) lives in segment %d of class %d",
+				r.p, r.size, want, si, classes[si])
+		}
+	}
+}
+
+// TestFootprintNeverExceedsAddressSpaceUse ties the allocator's own
+// accounting to the OS-level accounting underneath it.
+func TestFootprintNeverExceedsAddressSpaceUse(t *testing.T) {
+	d, env := newDD(t, DefaultOptions())
+	for i := 0; i < 30000; i++ {
+		d.Malloc(uint64(8 + i%2000))
+		if i%1000 == 0 {
+			env.Drain()
+		}
+	}
+	if fp, mapped := d.PeakFootprint(), env.AS.HighWater(); fp > mapped {
+		t.Fatalf("allocator claims %d bytes footprint but only %d were ever mapped", fp, mapped)
+	}
+}

@@ -1,0 +1,147 @@
+// Package cpu holds the hardware-event counters and the core timing model
+// that turn cache-simulation counts into cycles.
+//
+// The two evaluation machines differ exactly as the paper describes
+// (Section 4.1): the Xeon is a high-frequency out-of-order core that
+// overlaps much of its memory stall time with useful work, while the Niagara
+// is a low-frequency in-order core that exposes stalls fully but hides them
+// across four hardware threads per core. Both behaviours are captured here:
+// exposure factors scale individual stalls, and an SMT hiding factor scales
+// the summed stall time of the threads sharing a core.
+package cpu
+
+// Counters are the per-stream, per-attribution-class hardware event counts
+// produced by the cache simulation. They correspond one-for-one to the
+// OProfile events the paper reports in Figure 8: total instructions, L1I
+// cache misses, L1D cache misses, D-TLB misses, L2 cache misses, and bus
+// transactions.
+type Counters struct {
+	Instr uint64
+
+	L1IAcc, L1IMiss uint64
+	L1DAcc, L1DMiss uint64
+	TLBMiss         uint64
+
+	// Demand L2 traffic, split by direction because stores drain through
+	// store buffers and expose far less latency than loads, and
+	// instruction fetches are partially hidden by fetch-ahead.
+	L2HitRd, L2HitWr   uint64
+	L2MissRd, L2MissWr uint64
+	L2HitIF, L2MissIF  uint64
+
+	// PfHit counts demand hits on lines the prefetcher brought in (their
+	// memory latency was hidden; they price as L2 hits).
+	PfHit uint64
+
+	// Bus transactions by cause: demand line fills, dirty writebacks,
+	// and prefetch fills.
+	BusRead, BusWrite, BusPf uint64
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.Instr += o.Instr
+	c.L1IAcc += o.L1IAcc
+	c.L1IMiss += o.L1IMiss
+	c.L1DAcc += o.L1DAcc
+	c.L1DMiss += o.L1DMiss
+	c.TLBMiss += o.TLBMiss
+	c.L2HitRd += o.L2HitRd
+	c.L2HitWr += o.L2HitWr
+	c.L2MissRd += o.L2MissRd
+	c.L2MissWr += o.L2MissWr
+	c.L2HitIF += o.L2HitIF
+	c.L2MissIF += o.L2MissIF
+	c.PfHit += o.PfHit
+	c.BusRead += o.BusRead
+	c.BusWrite += o.BusWrite
+	c.BusPf += o.BusPf
+}
+
+// BusTxns returns the total bus transactions (Figure 8's rightmost bar).
+func (c Counters) BusTxns() uint64 { return c.BusRead + c.BusWrite + c.BusPf }
+
+// L2Miss returns total demand L2 misses (data and instruction).
+func (c Counters) L2Miss() uint64 { return c.L2MissRd + c.L2MissWr + c.L2MissIF }
+
+// L2Demand returns total demand L2 accesses.
+func (c Counters) L2Demand() uint64 {
+	return c.L2HitRd + c.L2HitWr + c.L2MissRd + c.L2MissWr + c.L2HitIF + c.L2MissIF
+}
+
+// Model is the timing model of one core type.
+type Model struct {
+	// FreqHz is the core clock.
+	FreqHz float64
+	// CPI is the base cycles-per-instruction with a perfect memory
+	// system (covers issue width and L1-hit latency).
+	CPI float64
+
+	// Latencies in core cycles.
+	L2HitLat   float64
+	MemLat     float64
+	TLBMissLat float64
+
+	// ReadExpose and WriteExpose are the fractions of load- and
+	// store-miss latency the core actually stalls for. An out-of-order
+	// core overlaps much of it (Xeon); an in-order core exposes loads
+	// fully (Niagara). IFetchExpose covers instruction fetches, which
+	// fetch-ahead hides better than loads.
+	ReadExpose, WriteExpose, IFetchExpose float64
+
+	// SMTHideCoeff controls how well extra hardware threads on a core
+	// hide each other's stalls: the summed stall time of T threads is
+	// scaled by 1/(1+coeff*(T-1)). Zero means no multithreading benefit.
+	SMTHideCoeff float64
+
+	// SnoopPerCore adds cycles to every memory access for each *other*
+	// active core, modelling coherence/arbitration overhead on a snoopy
+	// bus. It is what bends the region allocator's scaling curve past
+	// saturation on Xeon.
+	SnoopPerCore float64
+}
+
+// InstrCycles returns the base execution cycles for c.
+func (m Model) InstrCycles(c Counters) float64 {
+	return float64(c.Instr) * m.CPI
+}
+
+// StallCycles returns the exposed memory stall cycles for c, given the
+// current bus latency multiplier and the number of active cores (for snoop
+// overhead).
+func (m Model) StallCycles(c Counters, busMult float64, activeCores int) float64 {
+	snoop := m.SnoopPerCore * float64(activeCores-1)
+	memLat := (m.MemLat + snoop) * busMult
+
+	stall := float64(c.TLBMiss) * m.TLBMissLat * m.ReadExpose
+	stall += float64(c.L2HitRd) * (m.L2HitLat + snoop/4) * m.ReadExpose
+	stall += float64(c.L2HitWr) * (m.L2HitLat + snoop/4) * m.WriteExpose
+	stall += float64(c.L2MissRd) * memLat * m.ReadExpose
+	stall += float64(c.L2MissWr) * memLat * m.WriteExpose
+	stall += float64(c.L2HitIF) * (m.L2HitLat + snoop/4) * m.IFetchExpose
+	stall += float64(c.L2MissIF) * memLat * m.IFetchExpose
+	return stall
+}
+
+// HideFactor returns the multiplier applied to the summed stall time of
+// nThreads threads sharing one core.
+func (m Model) HideFactor(nThreads int) float64 {
+	if nThreads <= 1 || m.SMTHideCoeff <= 0 {
+		return 1
+	}
+	return 1 / (1 + m.SMTHideCoeff*float64(nThreads-1))
+}
+
+// CoreTime combines the loads of the threads sharing one core into the
+// core's busy time: instruction cycles serialize through the shared
+// pipeline, while stalls overlap according to the hide factor.
+func (m Model) CoreTime(instrCycles, stallCycles []float64) float64 {
+	var instr, stall float64
+	for _, v := range instrCycles {
+		instr += v
+	}
+	for _, v := range stallCycles {
+		stall += v
+	}
+	return instr + stall*m.HideFactor(len(instrCycles))
+}

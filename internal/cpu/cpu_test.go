@@ -1,0 +1,121 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+)
+
+func xeonModel() Model {
+	return Model{
+		FreqHz: 1.86e9, CPI: 0.75,
+		L2HitLat: 14, MemLat: 200, TLBMissLat: 30,
+		ReadExpose: 0.6, WriteExpose: 0.15,
+		SMTHideCoeff: 0, SnoopPerCore: 2,
+	}
+}
+
+func niagaraModel() Model {
+	return Model{
+		FreqHz: 1.2e9, CPI: 1.1,
+		L2HitLat: 22, MemLat: 130, TLBMissLat: 120,
+		ReadExpose: 1.0, WriteExpose: 0.5,
+		SMTHideCoeff: 0.85, SnoopPerCore: 0,
+	}
+}
+
+func TestCountersAddAndDerived(t *testing.T) {
+	a := Counters{Instr: 100, L2MissRd: 3, L2MissWr: 2, BusRead: 5, BusWrite: 1, BusPf: 2,
+		L2HitRd: 7, L2HitWr: 1}
+	b := Counters{Instr: 50, L2MissRd: 1, BusRead: 1}
+	a.Add(b)
+	if a.Instr != 150 || a.L2MissRd != 4 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+	if got := a.BusTxns(); got != 9 {
+		t.Fatalf("BusTxns = %d, want 9", got)
+	}
+	if got := a.L2Miss(); got != 6 {
+		t.Fatalf("L2Miss = %d, want 6", got)
+	}
+	if got := a.L2Demand(); got != 14 {
+		t.Fatalf("L2Demand = %d, want 14", got)
+	}
+}
+
+func TestStallCyclesReadVsWrite(t *testing.T) {
+	m := xeonModel()
+	read := m.StallCycles(Counters{L2MissRd: 100}, 1, 1)
+	write := m.StallCycles(Counters{L2MissWr: 100}, 1, 1)
+	if read <= write {
+		t.Fatalf("read stalls (%g) should exceed write stalls (%g)", read, write)
+	}
+	wantRead := 100 * 200 * 0.6
+	if math.Abs(read-wantRead) > 1e-9 {
+		t.Fatalf("read stalls = %g, want %g", read, wantRead)
+	}
+}
+
+func TestStallCyclesBusMultiplierScalesMemoryOnly(t *testing.T) {
+	m := xeonModel()
+	c := Counters{L2MissRd: 100, L2HitRd: 100, TLBMiss: 10}
+	base := m.StallCycles(c, 1, 1)
+	loaded := m.StallCycles(c, 2, 1)
+	memPart := 100 * 200 * 0.6
+	if math.Abs((loaded-base)-memPart) > 1e-9 {
+		t.Fatalf("bus multiplier added %g cycles, want %g (memory part only)", loaded-base, memPart)
+	}
+}
+
+func TestSnoopGrowsWithActiveCores(t *testing.T) {
+	m := xeonModel()
+	c := Counters{L2MissRd: 1000}
+	t1 := m.StallCycles(c, 1, 1)
+	t8 := m.StallCycles(c, 1, 8)
+	if t8 <= t1 {
+		t.Fatalf("snoop overhead missing: 1 core %g, 8 cores %g", t1, t8)
+	}
+}
+
+func TestHideFactor(t *testing.T) {
+	n := niagaraModel()
+	if got := n.HideFactor(1); got != 1 {
+		t.Errorf("HideFactor(1) = %g, want 1", got)
+	}
+	h2, h4 := n.HideFactor(2), n.HideFactor(4)
+	if !(h4 < h2 && h2 < 1) {
+		t.Errorf("hide factors not decreasing: h2=%g h4=%g", h2, h4)
+	}
+	x := xeonModel()
+	if got := x.HideFactor(4); got != 1 {
+		t.Errorf("non-SMT model HideFactor(4) = %g, want 1", got)
+	}
+}
+
+func TestCoreTimeSMTHidesStallsNotInstructions(t *testing.T) {
+	n := niagaraModel()
+	instr := []float64{1000, 1000, 1000, 1000}
+	stall := []float64{2000, 2000, 2000, 2000}
+	got := n.CoreTime(instr, stall)
+	// Instructions serialize: at least 4000 cycles.
+	if got < 4000 {
+		t.Fatalf("CoreTime = %g, below serialized instruction time", got)
+	}
+	// Stalls must be hidden: far below the 4000+8000 unhidden sum.
+	if got > 4000+8000*0.5 {
+		t.Fatalf("CoreTime = %g, stalls not hidden", got)
+	}
+	single := n.CoreTime(instr[:1], stall[:1])
+	if single != 3000 {
+		t.Fatalf("single-thread CoreTime = %g, want 3000", single)
+	}
+}
+
+func TestNiagaraExposesMoreStallPerMiss(t *testing.T) {
+	c := Counters{L2MissRd: 1000}
+	x, n := xeonModel(), niagaraModel()
+	xs := x.StallCycles(c, 1, 1) / (1000 * x.MemLat)
+	ns := n.StallCycles(c, 1, 1) / (1000 * n.MemLat)
+	if ns <= xs {
+		t.Fatalf("in-order core should expose more stall per miss: xeon %g, niagara %g", xs, ns)
+	}
+}

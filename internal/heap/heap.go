@@ -1,0 +1,146 @@
+// Package heap defines the allocator service-provider interface shared by
+// every memory allocator in the study, plus the machinery they have in
+// common: size-class maps, free lists whose links live inside the simulated
+// objects, and per-allocator statistics.
+//
+// The paper compares three allocator families for transaction-scoped
+// objects (its Table 1):
+//
+//   - general-purpose allocators supporting bulk freeing (per-object free,
+//     bulk free, defragmentation; high malloc/free cost, low bandwidth need)
+//   - region-based allocators (bulk free only; lowest cost, high bandwidth)
+//   - the defrag-dodging allocator (per-object free, bulk free, *no*
+//     defragmentation; low cost, low bandwidth)
+//
+// All of them implement Allocator. Allocators operate on a simulated
+// address space and emit every data-structure touch into a sim.Env so the
+// memory-hierarchy simulator can price it.
+package heap
+
+import "webmm/internal/mem"
+
+// Ptr is a simulated object address; 0 is the null pointer.
+type Ptr = mem.Addr
+
+// Stats counts the allocator API traffic, matching the statistics of the
+// paper's Table 3.
+type Stats struct {
+	Mallocs  uint64
+	Frees    uint64
+	Reallocs uint64
+	FreeAlls uint64
+
+	// BytesRequested sums the sizes the application asked for;
+	// BytesAllocated sums the sizes after size-class rounding.
+	BytesRequested uint64
+	BytesAllocated uint64
+}
+
+// AvgAllocSize returns the mean requested allocation size, as in Table 3's
+// rightmost column (realloc new sizes included via the caller's counting).
+func (s Stats) AvgAllocSize() float64 {
+	if s.Mallocs == 0 {
+		return 0
+	}
+	return float64(s.BytesRequested) / float64(s.Mallocs)
+}
+
+// Allocator is the interface under study. All addresses are simulated; the
+// implementations emit their memory touches to the sim.Env they were
+// constructed with.
+type Allocator interface {
+	// Name identifies the allocator in reports ("DDmalloc",
+	// "region-based", "default", ...).
+	Name() string
+
+	// CodeSize is the simulated instruction footprint of the allocator's
+	// code, in bytes. The paper attributes part of DDmalloc's L1I-miss
+	// reduction to its smaller code.
+	CodeSize() uint64
+
+	// Malloc allocates size bytes and returns the object address.
+	Malloc(size uint64) Ptr
+
+	// Free releases one object. Allocators that do not support
+	// per-object free (the region family) treat it as a no-op and the
+	// runtime is expected not to call it (the paper's Step-1..3
+	// modification removes those calls).
+	Free(p Ptr)
+
+	// Realloc resizes an object, copying min(oldSize,newSize) payload
+	// bytes if it must move. oldSize is supplied by the runtime (our
+	// runtimes track object sizes; see DESIGN.md §6).
+	Realloc(p Ptr, oldSize, newSize uint64) Ptr
+
+	// FreeAll deallocates every transaction-scoped object at once, as
+	// called by the PHP runtime at end of transaction. Allocators
+	// without bulk-free support (glibc/Hoard/TCmalloc models) panic.
+	FreeAll()
+
+	// SupportsFree reports per-object free capability (Table 1).
+	SupportsFree() bool
+	// SupportsFreeAll reports bulk-free capability (Table 1).
+	SupportsFreeAll() bool
+
+	// PeakFootprint returns the peak memory consumption, in bytes, since
+	// the last ResetPeak, using the paper's Figure 9 definition for each
+	// family (bytes obtained from the underlying allocator; segments +
+	// metadata for DDmalloc; bytes allocated during the transaction for
+	// the region allocator).
+	PeakFootprint() uint64
+	// ResetPeak restarts peak-footprint tracking.
+	ResetPeak()
+
+	// Stats returns cumulative API statistics.
+	Stats() Stats
+}
+
+// FreeList is a LIFO free list whose links are threaded through the first
+// word of each free object, exactly as DDmalloc and the thread caches of
+// TCmalloc keep them. Push writes the object's link word; Pop reads it.
+// The Go-side slice mirrors the list so the simulator does not need backing
+// storage for the simulated heap.
+type FreeList struct {
+	items []Ptr
+}
+
+// Len returns the number of free objects on the list.
+func (f *FreeList) Len() int { return len(f.items) }
+
+// Push chains p onto the head of the list. The caller is responsible for
+// emitting the link-word write (see PushCost) so different allocators can
+// attribute it differently.
+func (f *FreeList) Push(p Ptr) { f.items = append(f.items, p) }
+
+// Pop removes and returns the head object, or 0 if the list is empty.
+func (f *FreeList) Pop() Ptr {
+	n := len(f.items)
+	if n == 0 {
+		return 0
+	}
+	p := f.items[n-1]
+	f.items = f.items[:n-1]
+	return p
+}
+
+// Peek returns the head object without removing it, or 0 if empty.
+func (f *FreeList) Peek() Ptr {
+	if n := len(f.items); n > 0 {
+		return f.items[n-1]
+	}
+	return 0
+}
+
+// PopTail removes and returns the *oldest* object (FIFO end). Central free
+// lists returning memory to spans release old objects first.
+func (f *FreeList) PopTail() Ptr {
+	if len(f.items) == 0 {
+		return 0
+	}
+	p := f.items[0]
+	f.items = f.items[1:]
+	return p
+}
+
+// Reset drops every entry (bulk free).
+func (f *FreeList) Reset() { f.items = f.items[:0] }

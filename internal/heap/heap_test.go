@@ -1,0 +1,131 @@
+package heap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSizeToClassPaperRule(t *testing.T) {
+	// Paper §3.2: multiples of 8 below 128, multiples of 32 below 512,
+	// powers of two above.
+	cases := []struct {
+		size    uint64
+		rounded uint64
+	}{
+		{1, 8}, {7, 8}, {8, 8}, {9, 16}, {24, 24}, {120, 120}, {127, 128}, {128, 128},
+		{129, 160}, {160, 160}, {161, 192}, {500, 512}, {512, 512},
+		{513, 1024}, {1024, 1024}, {1025, 2048}, {4000, 4096}, {10000, 16384}, {16384, 16384},
+	}
+	for _, tc := range cases {
+		c := SizeToClass(tc.size)
+		if got := ClassSize(c); got != tc.rounded {
+			t.Errorf("size %d -> class %d size %d, want %d", tc.size, c, got, tc.rounded)
+		}
+	}
+}
+
+func TestClassSizeMonotone(t *testing.T) {
+	prev := uint64(0)
+	for c := 0; c < NumClasses; c++ {
+		s := ClassSize(c)
+		if s <= prev {
+			t.Fatalf("class %d size %d not greater than previous %d", c, s, prev)
+		}
+		prev = s
+	}
+	if prev != MaxClassSize {
+		t.Fatalf("largest class size %d, want %d", prev, MaxClassSize)
+	}
+}
+
+func TestSizeToClassRoundTripProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		size := uint64(raw%MaxClassSize) + 1
+		c := SizeToClass(size)
+		if c < 0 || c >= NumClasses {
+			return false
+		}
+		cs := ClassSize(c)
+		if cs < size {
+			return false // class must fit the request
+		}
+		// The class must be the smallest that fits.
+		return c == 0 || ClassSize(c-1) < size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundedSizeLargeObjects(t *testing.T) {
+	if got := RoundedSize(MaxClassSize + 1); got != 20480 {
+		t.Errorf("RoundedSize(16385) = %d, want 20480 (page rounded)", got)
+	}
+	if got := RoundedSize(100000); got%4096 != 0 || got < 100000 {
+		t.Errorf("RoundedSize(100000) = %d, want page-rounded >= request", got)
+	}
+}
+
+func TestSizeToClassPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SizeToClass(0) did not panic")
+		}
+	}()
+	SizeToClass(0)
+}
+
+func TestFreeListLIFO(t *testing.T) {
+	var f FreeList
+	f.Push(100)
+	f.Push(200)
+	f.Push(300)
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", f.Len())
+	}
+	if p := f.Peek(); p != 300 {
+		t.Fatalf("Peek = %d, want 300 (LIFO)", p)
+	}
+	for _, want := range []Ptr{300, 200, 100} {
+		if got := f.Pop(); got != want {
+			t.Fatalf("Pop = %d, want %d", got, want)
+		}
+	}
+	if got := f.Pop(); got != 0 {
+		t.Fatalf("Pop on empty = %d, want 0", got)
+	}
+}
+
+func TestFreeListPopTailFIFO(t *testing.T) {
+	var f FreeList
+	f.Push(1)
+	f.Push(2)
+	f.Push(3)
+	if got := f.PopTail(); got != 1 {
+		t.Fatalf("PopTail = %d, want oldest (1)", got)
+	}
+	if got := f.Pop(); got != 3 {
+		t.Fatalf("Pop after PopTail = %d, want 3", got)
+	}
+}
+
+func TestFreeListReset(t *testing.T) {
+	var f FreeList
+	for i := Ptr(1); i <= 10; i++ {
+		f.Push(i * 64)
+	}
+	f.Reset()
+	if f.Len() != 0 || f.Pop() != 0 {
+		t.Fatal("Reset did not empty the list")
+	}
+}
+
+func TestStatsAvgAllocSize(t *testing.T) {
+	s := Stats{Mallocs: 4, BytesRequested: 250}
+	if got := s.AvgAllocSize(); got != 62.5 {
+		t.Fatalf("AvgAllocSize = %g, want 62.5", got)
+	}
+	if got := (Stats{}).AvgAllocSize(); got != 0 {
+		t.Fatalf("empty AvgAllocSize = %g, want 0", got)
+	}
+}

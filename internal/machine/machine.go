@@ -1,0 +1,322 @@
+package machine
+
+import (
+	"fmt"
+
+	"webmm/internal/cache"
+	"webmm/internal/cpu"
+	"webmm/internal/mem"
+	"webmm/internal/sim"
+)
+
+// Driver produces the work of one runtime process (one hardware thread). A
+// driver is constructed around the Env the machine hands it (the Env is the
+// process's address space and event recorder) and generates web
+// transactions in bounded slices so event buffers stay small at full
+// workload scale.
+type Driver interface {
+	// StepTransaction generates the next slice of the current
+	// transaction into the stream's Env, returning true when the
+	// transaction is complete. The machine prices the emitted events
+	// between calls.
+	StepTransaction() bool
+}
+
+// Stream is one hardware thread running one runtime process.
+type Stream struct {
+	ID   int
+	Core int
+	Env  *sim.Env
+
+	// counters accumulate measured (post-warmup) events by class.
+	counters [sim.NumClasses]cpu.Counters
+	txns     uint64
+}
+
+// coreState holds the per-core private structures (shared by the core's
+// hardware threads, as on Niagara).
+type coreState struct {
+	l1d, l1i *cache.Cache
+	tlb      *cache.TLB
+}
+
+// l2State is one L2 cache cluster with its prefetcher.
+type l2State struct {
+	c  *cache.Cache
+	pf *cache.Prefetcher
+}
+
+// Machine wires streams, cores, L2 clusters and the bus together and prices
+// event streams deterministically.
+type Machine struct {
+	Plat   Platform
+	NCores int
+
+	streams []*Stream
+	cores   []*coreState
+	l2s     []*l2State
+
+	// quantum is how many events each stream contributes per round-robin
+	// turn while pricing, approximating concurrent execution in the
+	// shared caches.
+	quantum int
+
+	measuring bool
+}
+
+// streamSpan is the address-space span reserved per stream (per process).
+const streamSpan = 1 << 40
+
+// New builds a machine with nCores active cores of the platform. The
+// allocCode/appCode sizes configure the per-class code footprints (the
+// allocator under test reports its own code size). seed derives every
+// stream's RNG.
+func New(p Platform, nCores int, allocCode, appCode uint64, seed uint64) *Machine {
+	if nCores < 1 || nCores > p.MaxCores {
+		panic(fmt.Sprintf("machine: nCores %d out of range 1..%d", nCores, p.MaxCores))
+	}
+	m := &Machine{Plat: p, NCores: nCores, quantum: 64}
+	code := sim.NewCodeLayout(allocCode, appCode)
+	root := sim.NewRNG(seed)
+
+	nThreads := p.Threads(nCores)
+	for i := 0; i < nThreads; i++ {
+		as := mem.NewAddressSpace(mem.Addr(uint64(i+2)<<40), streamSpan, p.LargePageShift)
+		env := sim.NewEnv(as, code, root.Uint64())
+		m.streams = append(m.streams, &Stream{
+			ID: i, Core: i / p.ThreadsPerCore, Env: env,
+		})
+	}
+	for c := 0; c < nCores; c++ {
+		m.cores = append(m.cores, &coreState{
+			l1d: cache.New(p.L1D),
+			l1i: cache.New(p.L1I),
+			tlb: cache.NewTLB(p.TLBEntries),
+		})
+	}
+	nL2 := (nCores + p.CoresPerL2 - 1) / p.CoresPerL2
+	for i := 0; i < nL2; i++ {
+		s := &l2State{c: cache.New(p.L2)}
+		if p.Prefetch != nil {
+			s.pf = cache.NewPrefetcher(p.Prefetch.Trackers, p.Prefetch.Depth)
+		}
+		m.l2s = append(m.l2s, s)
+	}
+	return m
+}
+
+// Streams returns the machine's streams, one per hardware thread. Callers
+// construct a Driver around each stream's Env before calling Run.
+func (m *Machine) Streams() []*Stream { return m.streams }
+
+// NumStreams returns the number of hardware threads.
+func (m *Machine) NumStreams() int { return len(m.streams) }
+
+// PriceSetup prices the events emitted during driver construction (allocator
+// initialization) without measuring them, so setup cost warms the caches but
+// does not pollute per-transaction statistics.
+func (m *Machine) PriceSetup() {
+	m.measuring = false
+	m.priceRound()
+}
+
+// PriceMeasured prices all buffered events into the measured counters and
+// counts one transaction per stream. It serves callers that drive the
+// streams' Envs directly (e.g. the webmm.Sandbox) rather than through Run.
+func (m *Machine) PriceMeasured() {
+	m.measuring = true
+	for _, s := range m.streams {
+		s.txns++
+	}
+	m.priceRound()
+	m.measuring = false
+}
+
+// Run executes warmup+measure transactions on every stream. Warmup rounds
+// warm caches, TLBs and allocator free lists; measured rounds accumulate the
+// per-class hardware counters used by Solve. Within a round, drivers
+// generate slices that are priced interleaved, modelling the concurrent
+// execution of the runtime processes.
+func (m *Machine) Run(drivers []Driver, warmup, measure int) {
+	if len(drivers) != len(m.streams) {
+		panic(fmt.Sprintf("machine: %d drivers for %d streams", len(drivers), len(m.streams)))
+	}
+	done := make([]bool, len(drivers))
+	for round := 0; round < warmup+measure; round++ {
+		m.measuring = round >= warmup
+		for i := range done {
+			done[i] = false
+		}
+		remaining := len(drivers)
+		for remaining > 0 {
+			for i, d := range drivers {
+				if done[i] {
+					continue
+				}
+				if d.StepTransaction() {
+					done[i] = true
+					remaining--
+					if m.measuring {
+						m.streams[i].txns++
+					}
+				}
+			}
+			m.priceRound()
+		}
+	}
+}
+
+// priceRound prices all buffered events, interleaving streams round-robin in
+// fixed quanta so that concurrent cache sharing and bus pressure are
+// represented, then drains every Env.
+func (m *Machine) priceRound() {
+	type cursor struct {
+		ev  []sim.Event
+		pos int
+	}
+	cursors := make([]cursor, len(m.streams))
+	remaining := 0
+	for i, s := range m.streams {
+		cursors[i] = cursor{ev: s.Env.Events()}
+		if len(cursors[i].ev) > 0 {
+			remaining++
+		}
+	}
+	for remaining > 0 {
+		for i := range cursors {
+			c := &cursors[i]
+			if c.pos >= len(c.ev) {
+				continue
+			}
+			end := c.pos + m.quantum
+			if end >= len(c.ev) {
+				end = len(c.ev)
+				remaining--
+			}
+			s := m.streams[i]
+			for _, ev := range c.ev[c.pos:end] {
+				m.price(s, ev)
+			}
+			c.pos = end
+		}
+	}
+	for _, s := range m.streams {
+		instr := s.Env.Drain()
+		if m.measuring {
+			for cls := 0; cls < sim.NumClasses; cls++ {
+				s.counters[cls].Instr += instr[cls]
+			}
+		}
+	}
+}
+
+// price routes one event through the stream's cache hierarchy.
+func (m *Machine) price(s *Stream, ev sim.Event) {
+	core := m.cores[s.Core]
+	ctr := &s.counters[ev.Class]
+	meas := m.measuring
+
+	first := mem.LineOf(ev.Addr)
+	nLines := mem.LinesTouched(ev.Addr, uint64(ev.Size))
+
+	if ev.Kind == sim.IFetch {
+		for l := uint64(0); l < nLines; l++ {
+			line := first + l
+			if meas {
+				ctr.L1IAcc++
+			}
+			hit, _, victim := core.l1i.Access(line, false)
+			if hit {
+				continue
+			}
+			if meas {
+				ctr.L1IMiss++
+			}
+			_ = victim // instruction lines are never dirty
+			m.l2Access(s, ctr, line, false, true, meas)
+		}
+		return
+	}
+
+	// Data access: one TLB lookup per event (page-crossing objects are
+	// rare and a second lookup would not change the shape of anything).
+	pageShift := s.Env.AS.PageShift(ev.Addr)
+	if !core.tlb.Access(cache.Key(uint64(ev.Addr), pageShift)) && meas {
+		ctr.TLBMiss++
+	}
+
+	write := ev.Kind == sim.Write
+	for l := uint64(0); l < nLines; l++ {
+		line := first + l
+		if meas {
+			ctr.L1DAcc++
+		}
+		hit, _, victim := core.l1d.Access(line, write)
+		if hit {
+			continue
+		}
+		if meas {
+			ctr.L1DMiss++
+		}
+		if victim.Valid && victim.Dirty {
+			// Dirty L1 eviction drains into the L2.
+			wbVictim := m.l2ForCore(s.Core).c.WriteBack(victim.Line)
+			if wbVictim.Valid && wbVictim.Dirty && meas {
+				ctr.BusWrite++
+			}
+		}
+		m.l2Access(s, ctr, line, write, false, meas)
+	}
+}
+
+func (m *Machine) l2ForCore(coreID int) *l2State {
+	return m.l2s[coreID/m.Plat.CoresPerL2]
+}
+
+// l2Access performs the shared-L2 lookup and, on a miss, the memory fetch,
+// prefetcher consultation and writeback accounting.
+func (m *Machine) l2Access(s *Stream, ctr *cpu.Counters, line uint64, write, ifetch, meas bool) {
+	l2 := m.l2ForCore(s.Core)
+	hit, wasPrefetched, victim := l2.c.Access(line, write)
+	if hit {
+		if meas {
+			switch {
+			case ifetch:
+				ctr.L2HitIF++
+			case write:
+				ctr.L2HitWr++
+			default:
+				ctr.L2HitRd++
+			}
+			if wasPrefetched {
+				ctr.PfHit++
+			}
+		}
+		return
+	}
+	if meas {
+		switch {
+		case ifetch:
+			ctr.L2MissIF++
+		case write:
+			ctr.L2MissWr++
+		default:
+			ctr.L2MissRd++
+		}
+		ctr.BusRead++
+		if victim.Valid && victim.Dirty {
+			ctr.BusWrite++
+		}
+	}
+	if l2.pf != nil {
+		for _, pl := range l2.pf.OnMiss(line) {
+			installed, v := l2.c.Install(pl, true)
+			if installed && meas {
+				ctr.BusPf++
+				if v.Valid && v.Dirty {
+					ctr.BusWrite++
+				}
+			}
+		}
+	}
+}

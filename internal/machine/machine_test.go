@@ -1,0 +1,220 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"webmm/internal/mem"
+	"webmm/internal/sim"
+)
+
+// streamingDriver writes fresh memory every transaction and never reuses it,
+// like the region allocator: all traffic is compulsory misses.
+type streamingDriver struct {
+	env  *sim.Env
+	next mem.Mapping
+	off  uint64
+	work uint64 // bytes written per transaction
+}
+
+func newStreamingDriver(env *sim.Env, work uint64) *streamingDriver {
+	return &streamingDriver{env: env, next: env.AS.Map(256*mem.MiB, 0, mem.SmallPages), work: work}
+}
+
+func (d *streamingDriver) StepTransaction() bool {
+	for i := uint64(0); i < d.work; i += 64 {
+		if d.off+64 > d.next.Size {
+			d.next = d.env.AS.Map(256*mem.MiB, 0, mem.SmallPages)
+			d.off = 0
+		}
+		d.env.Write(d.next.Base+mem.Addr(d.off), 64, sim.ClassApp)
+		d.env.Instr(8, sim.ClassApp)
+		d.off += 64
+	}
+	return true
+}
+
+// reusingDriver touches the same small working set every transaction, like
+// DDmalloc's LIFO reuse: warm after the first pass.
+type reusingDriver struct {
+	env  *sim.Env
+	base mem.Addr
+	work uint64
+}
+
+func newReusingDriver(env *sim.Env, work uint64) *reusingDriver {
+	m := env.AS.Map(work+mem.KiB, 0, mem.SmallPages)
+	return &reusingDriver{env: env, base: m.Base, work: work}
+}
+
+func (d *reusingDriver) StepTransaction() bool {
+	for i := uint64(0); i < d.work; i += 64 {
+		d.env.Write(d.base+mem.Addr(i), 64, sim.ClassApp)
+		d.env.Instr(8, sim.ClassApp)
+	}
+	return true
+}
+
+func runDrivers(t *testing.T, p Platform, nCores int, mk func(*sim.Env) Driver, warm, meas int) Result {
+	t.Helper()
+	m := New(p, nCores, 8*mem.KiB, 128*mem.KiB, 42)
+	var drivers []Driver
+	for _, s := range m.Streams() {
+		drivers = append(drivers, mk(s.Env))
+	}
+	m.PriceSetup()
+	m.Run(drivers, warm, meas)
+	return m.Solve()
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func(env *sim.Env) Driver { return newStreamingDriver(env, 64*mem.KiB) }
+	r1 := runDrivers(t, Xeon(), 4, mk, 2, 3)
+	r2 := runDrivers(t, Xeon(), 4, mk, 2, 3)
+	if r1.Throughput != r2.Throughput || r1.Totals != r2.Totals {
+		t.Fatalf("nondeterministic results:\n%+v\n%+v", r1, r2)
+	}
+}
+
+func TestStreamingGeneratesMoreBusTrafficThanReuse(t *testing.T) {
+	work := uint64(256 * mem.KiB)
+	stream := runDrivers(t, Xeon(), 2, func(e *sim.Env) Driver { return newStreamingDriver(e, work) }, 2, 4)
+	reuse := runDrivers(t, Xeon(), 2, func(e *sim.Env) Driver { return newReusingDriver(e, 16*mem.KiB) }, 2, 4)
+
+	sBus := stream.PerTxn(stream.Totals.BusTxns())
+	rBus := reuse.PerTxn(reuse.Totals.BusTxns())
+	if sBus < 4*rBus {
+		t.Fatalf("streaming bus/txn %.0f not >> reuse %.0f", sBus, rBus)
+	}
+	if reuse.Totals.L1DMiss*20 > reuse.Totals.L1DAcc {
+		t.Fatalf("reusing driver L1D miss rate too high: %d/%d",
+			reuse.Totals.L1DMiss, reuse.Totals.L1DAcc)
+	}
+}
+
+func TestBusUtilizationGrowsWithCores(t *testing.T) {
+	mk := func(e *sim.Env) Driver { return newStreamingDriver(e, 256*mem.KiB) }
+	u1 := runDrivers(t, Xeon(), 1, mk, 1, 3).BusUtil
+	u8 := runDrivers(t, Xeon(), 8, mk, 1, 3).BusUtil
+	if u8 <= u1 {
+		t.Fatalf("bus utilization did not grow with cores: 1-core %.3f, 8-core %.3f", u1, u8)
+	}
+	if u8 < 0.3 {
+		t.Fatalf("8 streaming cores should load the Xeon bus heavily, got %.3f", u8)
+	}
+}
+
+func TestMemoryBoundScalesWorseThanCacheFriendly(t *testing.T) {
+	mkStream := func(e *sim.Env) Driver { return newStreamingDriver(e, 256*mem.KiB) }
+	mkReuse := func(e *sim.Env) Driver { return newReusingDriver(e, 24*mem.KiB) }
+
+	s1 := runDrivers(t, Xeon(), 1, mkStream, 1, 3).Throughput
+	s8 := runDrivers(t, Xeon(), 8, mkStream, 1, 3).Throughput
+	r1 := runDrivers(t, Xeon(), 1, mkReuse, 1, 3).Throughput
+	r8 := runDrivers(t, Xeon(), 8, mkReuse, 1, 3).Throughput
+
+	streamSpeedup := s8 / s1
+	reuseSpeedup := r8 / r1
+	if streamSpeedup >= reuseSpeedup {
+		t.Fatalf("bandwidth-bound speedup %.2fx should trail cache-friendly %.2fx",
+			streamSpeedup, reuseSpeedup)
+	}
+	if reuseSpeedup < 4.5 {
+		t.Fatalf("cache-friendly workload speedup %.2fx too low", reuseSpeedup)
+	}
+}
+
+func TestNiagaraThreadsPerCore(t *testing.T) {
+	m := New(Niagara(), 2, 8*mem.KiB, 128*mem.KiB, 1)
+	if got := m.NumStreams(); got != 8 {
+		t.Fatalf("2 Niagara cores expose %d streams, want 8", got)
+	}
+	mx := New(Xeon(), 2, 8*mem.KiB, 128*mem.KiB, 1)
+	if got := mx.NumStreams(); got != 2 {
+		t.Fatalf("2 Xeon cores expose %d streams, want 2", got)
+	}
+}
+
+func TestStreamsHaveDisjointAddressSpaces(t *testing.T) {
+	m := New(Xeon(), 8, 8*mem.KiB, 128*mem.KiB, 1)
+	type span struct{ lo, hi mem.Addr }
+	var spans []span
+	for _, s := range m.Streams() {
+		mp := s.Env.AS.Map(1*mem.MiB, 0, mem.SmallPages)
+		spans = append(spans, span{mp.Base, mp.End()})
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+				t.Fatalf("streams %d and %d overlap: %+v %+v", i, j, spans[i], spans[j])
+			}
+		}
+	}
+}
+
+func TestClassAttributionSeparatesAllocFromApp(t *testing.T) {
+	p := Xeon()
+	m := New(p, 1, 8*mem.KiB, 128*mem.KiB, 7)
+	env := m.Streams()[0].Env
+	d := driverFunc(func() {
+		env.Instr(1000, sim.ClassAlloc)
+		env.Instr(3000, sim.ClassApp)
+	})
+	m.Run([]Driver{d}, 1, 4)
+	r := m.Solve()
+	if r.ByClass[sim.ClassAlloc].Instr != 4000 {
+		t.Fatalf("alloc instr = %d, want 4000", r.ByClass[sim.ClassAlloc].Instr)
+	}
+	if r.ByClass[sim.ClassApp].Instr != 12000 {
+		t.Fatalf("app instr = %d, want 12000", r.ByClass[sim.ClassApp].Instr)
+	}
+	if r.ByClass[sim.ClassAlloc].Cycles <= 0 || r.ByClass[sim.ClassApp].Cycles <= r.ByClass[sim.ClassAlloc].Cycles {
+		t.Fatalf("cycle attribution wrong: %+v", r.ByClass)
+	}
+	if r.Txns != 4 {
+		t.Fatalf("measured %d txns, want 4", r.Txns)
+	}
+}
+
+type driverFunc func()
+
+func (f driverFunc) StepTransaction() bool { f(); return true }
+
+func TestSolveConverges(t *testing.T) {
+	r := runDrivers(t, Xeon(), 8, func(e *sim.Env) Driver { return newStreamingDriver(e, 512*mem.KiB) }, 1, 2)
+	if math.IsNaN(r.Throughput) || math.IsInf(r.Throughput, 0) || r.Throughput <= 0 {
+		t.Fatalf("throughput = %v", r.Throughput)
+	}
+	if r.BusMult < 1 || r.BusMult > 1/(1-Xeon().Bus.MaxUtil)+1e-9 {
+		t.Fatalf("bus multiplier %v out of range", r.BusMult)
+	}
+}
+
+func TestWarmupExcludedFromCounters(t *testing.T) {
+	p := Xeon()
+	mk := func() (*Machine, Result) {
+		m := New(p, 1, 8*mem.KiB, 128*mem.KiB, 5)
+		d := newReusingDriver(m.Streams()[0].Env, 32*mem.KiB)
+		m.Run([]Driver{d}, 5, 2)
+		return m, m.Solve()
+	}
+	_, r := mk()
+	// After 5 warmup passes over a 32 KiB set, measured misses should be
+	// nearly zero (the set fits in L1D).
+	if r.Totals.L1DMiss*50 > r.Totals.L1DAcc {
+		t.Fatalf("warmup leaked into measurement: %d misses / %d accesses",
+			r.Totals.L1DMiss, r.Totals.L1DAcc)
+	}
+}
+
+func TestPlatformByName(t *testing.T) {
+	if _, err := PlatformByName("xeon"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlatformByName("niagara"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlatformByName("power6"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}

@@ -1,0 +1,173 @@
+package machine
+
+import (
+	"math"
+
+	"webmm/internal/cpu"
+	"webmm/internal/sim"
+)
+
+// ClassTime is the cycle and instruction attribution of one software
+// component (the paper's Figure 6/11 breakdown).
+type ClassTime struct {
+	Cycles float64
+	Instr  uint64
+}
+
+// Result is the solved outcome of a Run.
+type Result struct {
+	Platform string
+	Cores    int
+	Threads  int
+
+	// Txns is the total number of measured transactions across streams.
+	Txns uint64
+
+	// WallCycles is the busy time of the slowest core; WallSeconds the
+	// same in seconds at the platform clock.
+	WallCycles  float64
+	WallSeconds float64
+
+	// Throughput is measured transactions per second.
+	Throughput float64
+
+	// BusUtil is the converged bus utilization; BusMult the memory
+	// latency multiplier it implies.
+	BusUtil float64
+	BusMult float64
+
+	// ByClass attributes cycles and instructions to memory management,
+	// application, and OS work.
+	ByClass [sim.NumClasses]ClassTime
+
+	// Totals sums the hardware counters over all streams and classes;
+	// ClassTotals keeps the per-class split.
+	Totals      cpu.Counters
+	ClassTotals [sim.NumClasses]cpu.Counters
+}
+
+// CyclesPerTxn returns total attributed cycles per measured transaction.
+func (r Result) CyclesPerTxn() float64 {
+	var total float64
+	for _, ct := range r.ByClass {
+		total += ct.Cycles
+	}
+	if r.Txns == 0 {
+		return 0
+	}
+	return total / float64(r.Txns)
+}
+
+// ClassCyclesPerTxn returns the per-transaction cycles of one class.
+func (r Result) ClassCyclesPerTxn(c sim.Class) float64 {
+	if r.Txns == 0 {
+		return 0
+	}
+	return r.ByClass[c].Cycles / float64(r.Txns)
+}
+
+// PerTxn divides a raw event count by the number of measured transactions.
+func (r Result) PerTxn(count uint64) float64 {
+	if r.Txns == 0 {
+		return 0
+	}
+	return float64(count) / float64(r.Txns)
+}
+
+// Solve converges the timing fixed point: stalls depend on the bus latency
+// multiplier, the multiplier depends on utilization, and utilization depends
+// on wall time, which depends on stalls. The load counters never change, so
+// damped iteration converges quickly.
+func (m *Machine) Solve() Result {
+	p := m.Plat
+	nStreams := len(m.streams)
+
+	// Per-stream per-class instruction cycles are constant.
+	instrCyc := make([][sim.NumClasses]float64, nStreams)
+	var busTxns, totalTxns uint64
+	var totals cpu.Counters
+	var classTotals [sim.NumClasses]cpu.Counters
+	for i, s := range m.streams {
+		for cls := 0; cls < sim.NumClasses; cls++ {
+			instrCyc[i][cls] = p.Core.InstrCycles(s.counters[cls])
+			totals.Add(s.counters[cls])
+			busTxns += s.counters[cls].BusTxns()
+			classTotals[cls].Add(s.counters[cls])
+		}
+		totalTxns += s.txns
+	}
+
+	mult := 1.0
+	var wall, util float64
+	stall := make([][sim.NumClasses]float64, nStreams)
+	for iter := 0; iter < 60; iter++ {
+		for i, s := range m.streams {
+			for cls := 0; cls < sim.NumClasses; cls++ {
+				stall[i][cls] = p.Core.StallCycles(s.counters[cls], mult, m.NCores)
+			}
+		}
+		wall = 0
+		for c := 0; c < m.NCores; c++ {
+			var ic, st []float64
+			for i := range m.streams {
+				if m.streams[i].Core != c {
+					continue
+				}
+				ic = append(ic, sum3(instrCyc[i]))
+				st = append(st, sum3(stall[i]))
+			}
+			if t := p.Core.CoreTime(ic, st); t > wall {
+				wall = t
+			}
+		}
+		util = p.Bus.Utilization(busTxns, wall)
+		next := p.Bus.LatencyMultiplier(util)
+		if math.Abs(next-mult) < 1e-9 {
+			mult = next
+			break
+		}
+		mult = 0.5*mult + 0.5*next
+	}
+
+	res := Result{
+		Platform:   p.Name,
+		Cores:      m.NCores,
+		Threads:    len(m.streams),
+		Txns:        totalTxns,
+		WallCycles:  wall,
+		BusUtil:     math.Min(util, p.Bus.MaxUtil),
+		BusMult:     mult,
+		Totals:      totals,
+		ClassTotals: classTotals,
+	}
+	if wall > 0 {
+		res.WallSeconds = wall / p.Core.FreqHz
+		res.Throughput = float64(totalTxns) / res.WallSeconds
+	}
+
+	// Attribute cycles per class. The SMT hide factor discounts stall
+	// time uniformly, matching how a profiler would see it (the core is
+	// busy with another thread during hidden stalls).
+	hide := p.Core.HideFactor(p.ThreadsPerCore)
+	for i, s := range m.streams {
+		for cls := 0; cls < sim.NumClasses; cls++ {
+			res.ByClass[cls].Cycles += instrCyc[i][cls] + stall[i][cls]*hide
+			res.ByClass[cls].Instr += s.counters[cls].Instr
+		}
+	}
+	return res
+}
+
+// StreamCounters returns the measured per-class counters of stream i (for
+// tests and detailed reports).
+func (m *Machine) StreamCounters(i int) [sim.NumClasses]cpu.Counters {
+	return m.streams[i].counters
+}
+
+func sum3(a [sim.NumClasses]float64) float64 {
+	var t float64
+	for _, v := range a {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,220 @@
+// Package mem provides the simulated 64-bit address space that every
+// allocator in this repository manages.
+//
+// The paper's allocators (PLDI'09, Inoue et al.) are C libraries that obtain
+// memory from the operating system with mmap/brk and hand out raw pointers.
+// Go has neither raw pointers into an OS heap nor manual free, so this
+// package substitutes a *simulated* address space: allocators request
+// aligned chunks ("mappings") and compute object addresses inside them, and
+// the memory-hierarchy simulator (internal/cache, internal/machine) observes
+// the resulting access streams. No backing storage exists; only addresses
+// and sizes are tracked.
+//
+// The address space also remembers which mappings use large pages, because
+// the D-TLB model needs the page size of an arbitrary address (the paper's
+// DDmalloc uses 4 MB pages on Niagara and, optionally, large pages on Xeon).
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Addr is a simulated virtual address. Address 0 is the null pointer and is
+// never returned by a mapping.
+type Addr uint64
+
+// Common size constants.
+const (
+	KiB = 1 << 10
+	MiB = 1 << 20
+	GiB = 1 << 30
+
+	// LineSize is the cache-line size used throughout the simulator.
+	// Both evaluation machines in the paper use 64-byte lines.
+	LineSize = 64
+
+	// SmallPageShift is the base page size (4 KiB) used by both platforms.
+	SmallPageShift = 12
+	// LargePageShiftXeon is the 2 MiB large page available on x86-64.
+	LargePageShiftXeon = 21
+	// LargePageShiftNiagara is the 4 MiB large page the paper uses on
+	// Solaris/Niagara.
+	LargePageShiftNiagara = 22
+)
+
+// PageKind selects the page size backing a mapping.
+type PageKind uint8
+
+const (
+	// SmallPages backs a mapping with the platform's 4 KiB base pages.
+	SmallPages PageKind = iota
+	// LargePages backs a mapping with the platform's large pages
+	// (2 MiB on Xeon, 4 MiB on Niagara).
+	LargePages
+)
+
+// Mapping describes one contiguous region returned by Map.
+type Mapping struct {
+	Base Addr
+	Size uint64
+	Kind PageKind
+}
+
+// End returns the first address past the mapping.
+func (m Mapping) End() Addr { return m.Base + Addr(m.Size) }
+
+// Contains reports whether a falls inside the mapping.
+func (m Mapping) Contains(a Addr) bool { return a >= m.Base && a < m.End() }
+
+// AddressSpace hands out non-overlapping, aligned mappings from a private
+// region of the simulated 64-bit address space. It is the model of the
+// operating system's mmap underneath every allocator.
+//
+// An AddressSpace is not safe for concurrent use; the simulator is
+// single-threaded by design so that runs are reproducible.
+type AddressSpace struct {
+	base       Addr
+	next       Addr
+	limit      Addr
+	largeShift uint8 // page shift used for LargePages mappings
+
+	mapped    uint64 // bytes currently mapped
+	highWater uint64 // peak of mapped
+	mapCalls  uint64
+	unmaps    uint64
+
+	// large holds LargePages mappings sorted by base so PageShift can
+	// find the page size of an address with a binary search. Small-page
+	// mappings are not recorded individually: small is the default.
+	large []Mapping
+}
+
+// NewAddressSpace returns an address space serving mappings from
+// [base, base+span). The largePageShift selects the platform's large-page
+// size (use LargePageShiftXeon or LargePageShiftNiagara).
+func NewAddressSpace(base Addr, span uint64, largePageShift uint8) *AddressSpace {
+	if base == 0 {
+		base = 1 << 32 // keep address 0 unmapped: 0 is the null pointer
+	}
+	return &AddressSpace{
+		base:       base,
+		next:       base,
+		limit:      base + Addr(span),
+		largeShift: largePageShift,
+	}
+}
+
+// Map reserves size bytes aligned to align (which must be a power of two, or
+// zero for page alignment) and returns the mapping. Map never reuses
+// addresses: like a simulator's mmap it always moves upward, so a stale
+// pointer can never alias a new mapping.
+func (as *AddressSpace) Map(size, align uint64, kind PageKind) Mapping {
+	if size == 0 {
+		panic("mem: Map with size 0")
+	}
+	pageSize := uint64(1) << SmallPageShift
+	if kind == LargePages {
+		pageSize = uint64(1) << as.largeShift
+	}
+	if align == 0 {
+		align = pageSize
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: Map alignment %d is not a power of two", align))
+	}
+	if align < pageSize {
+		align = pageSize
+	}
+	size = roundUp(size, pageSize)
+
+	base := Addr(roundUp(uint64(as.next), align))
+	end := base + Addr(size)
+	if end > as.limit {
+		panic(fmt.Sprintf("mem: address space exhausted: need %d bytes, %d remain",
+			size, uint64(as.limit-as.next)))
+	}
+	as.next = end
+	as.mapped += size
+	as.mapCalls++
+	if as.mapped > as.highWater {
+		as.highWater = as.mapped
+	}
+	m := Mapping{Base: base, Size: size, Kind: kind}
+	if kind == LargePages {
+		as.large = append(as.large, m)
+	}
+	return m
+}
+
+// Unmap releases a mapping's bytes from the footprint accounting. The
+// address range is never recycled (see Map), so a dangling simulated pointer
+// stays detectably invalid.
+func (as *AddressSpace) Unmap(m Mapping) {
+	if m.Size > as.mapped {
+		panic("mem: Unmap of more bytes than are mapped")
+	}
+	as.mapped -= m.Size
+	as.unmaps++
+	if m.Kind == LargePages {
+		for i := range as.large {
+			if as.large[i].Base == m.Base {
+				as.large = append(as.large[:i], as.large[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// PageShift returns log2 of the page size backing address a. Addresses in a
+// LargePages mapping use the platform large-page shift; everything else is a
+// small page.
+func (as *AddressSpace) PageShift(a Addr) uint8 {
+	// Binary search the sorted large-mapping list. Unmap keeps order.
+	i := sort.Search(len(as.large), func(i int) bool { return as.large[i].End() > a })
+	if i < len(as.large) && as.large[i].Contains(a) {
+		return as.largeShift
+	}
+	return SmallPageShift
+}
+
+// LargePageShift returns the platform's large-page shift.
+func (as *AddressSpace) LargePageShift() uint8 { return as.largeShift }
+
+// Mapped returns the bytes currently mapped.
+func (as *AddressSpace) Mapped() uint64 { return as.mapped }
+
+// HighWater returns the peak number of simultaneously mapped bytes.
+func (as *AddressSpace) HighWater() uint64 { return as.highWater }
+
+// MapCalls returns how many Map calls have been served (the paper counts
+// system calls to obtain chunks; the region allocator's 256 MB chunks make
+// this negligible and we can verify that).
+func (as *AddressSpace) MapCalls() uint64 { return as.mapCalls }
+
+// Remaining returns the bytes of address space not yet handed out.
+func (as *AddressSpace) Remaining() uint64 { return uint64(as.limit - as.next) }
+
+func roundUp(n, to uint64) uint64 {
+	if to == 0 || to&(to-1) != 0 {
+		panic(fmt.Sprintf("mem: roundUp to %d (not a power of two)", to))
+	}
+	return (n + to - 1) &^ (to - 1)
+}
+
+// RoundUp rounds n up to the next multiple of the power-of-two to.
+func RoundUp(n, to uint64) uint64 { return roundUp(n, to) }
+
+// LineOf returns the cache-line index of address a.
+func LineOf(a Addr) uint64 { return uint64(a) / LineSize }
+
+// LinesTouched returns how many distinct cache lines an access of size bytes
+// at address a touches.
+func LinesTouched(a Addr, size uint64) uint64 {
+	if size == 0 {
+		return 0
+	}
+	first := uint64(a) / LineSize
+	last := (uint64(a) + size - 1) / LineSize
+	return last - first + 1
+}

@@ -1,0 +1,131 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMapAlignmentAndDisjointness(t *testing.T) {
+	as := NewAddressSpace(0, 1<<40, LargePageShiftXeon)
+	var prev Mapping
+	for i, size := range []uint64{1, 4095, 4096, 4097, 32 * KiB, 256 * MiB} {
+		m := as.Map(size, 0, SmallPages)
+		if m.Base == 0 {
+			t.Fatalf("mapping %d: base is the null address", i)
+		}
+		if uint64(m.Base)%(1<<SmallPageShift) != 0 {
+			t.Errorf("mapping %d: base %#x not page aligned", i, m.Base)
+		}
+		if m.Size < size {
+			t.Errorf("mapping %d: size %d < requested %d", i, m.Size, size)
+		}
+		if i > 0 && m.Base < prev.End() {
+			t.Errorf("mapping %d overlaps previous: [%#x,%#x) then [%#x,%#x)",
+				i, prev.Base, prev.End(), m.Base, m.End())
+		}
+		prev = m
+	}
+}
+
+func TestMapCustomAlignment(t *testing.T) {
+	as := NewAddressSpace(0, 1<<40, LargePageShiftXeon)
+	// DDmalloc requires segments aligned to the segment size (32 KiB).
+	for i := 0; i < 10; i++ {
+		m := as.Map(32*KiB, 32*KiB, SmallPages)
+		if uint64(m.Base)%(32*KiB) != 0 {
+			t.Fatalf("segment %d at %#x not 32 KiB aligned", i, m.Base)
+		}
+	}
+}
+
+func TestFootprintAccounting(t *testing.T) {
+	as := NewAddressSpace(0, 1<<40, LargePageShiftNiagara)
+	a := as.Map(1*MiB, 0, SmallPages)
+	b := as.Map(2*MiB, 0, SmallPages)
+	if got, want := as.Mapped(), uint64(3*MiB); got != want {
+		t.Fatalf("Mapped = %d, want %d", got, want)
+	}
+	as.Unmap(a)
+	if got, want := as.Mapped(), uint64(2*MiB); got != want {
+		t.Fatalf("Mapped after unmap = %d, want %d", got, want)
+	}
+	if got, want := as.HighWater(), uint64(3*MiB); got != want {
+		t.Fatalf("HighWater = %d, want %d", got, want)
+	}
+	as.Unmap(b)
+	if as.Mapped() != 0 {
+		t.Fatalf("Mapped after unmapping all = %d, want 0", as.Mapped())
+	}
+	if as.MapCalls() != 2 {
+		t.Fatalf("MapCalls = %d, want 2", as.MapCalls())
+	}
+}
+
+func TestPageShiftLargePages(t *testing.T) {
+	as := NewAddressSpace(0, 1<<41, LargePageShiftNiagara)
+	small := as.Map(1*MiB, 0, SmallPages)
+	large := as.Map(8*MiB, 0, LargePages)
+	small2 := as.Map(1*MiB, 0, SmallPages)
+
+	if got := as.PageShift(small.Base); got != SmallPageShift {
+		t.Errorf("PageShift(small) = %d, want %d", got, SmallPageShift)
+	}
+	if got := as.PageShift(large.Base + 5*MiB); got != LargePageShiftNiagara {
+		t.Errorf("PageShift(large interior) = %d, want %d", got, LargePageShiftNiagara)
+	}
+	if got := as.PageShift(small2.Base); got != SmallPageShift {
+		t.Errorf("PageShift(small2) = %d, want %d", got, SmallPageShift)
+	}
+	// Large-page mapping size must be a multiple of the large page.
+	if large.Size%(1<<LargePageShiftNiagara) != 0 {
+		t.Errorf("large mapping size %d not multiple of 4 MiB", large.Size)
+	}
+	as.Unmap(large)
+	if got := as.PageShift(large.Base); got != SmallPageShift {
+		t.Errorf("PageShift after Unmap = %d, want small", got)
+	}
+}
+
+func TestLinesTouched(t *testing.T) {
+	tests := []struct {
+		addr Addr
+		size uint64
+		want uint64
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 64, 1},
+		{0, 65, 2},
+		{63, 1, 1},
+		{63, 2, 2},
+		{64, 64, 1},
+		{100, 200, 4},
+	}
+	for _, tc := range tests {
+		if got := LinesTouched(tc.addr, tc.size); got != tc.want {
+			t.Errorf("LinesTouched(%d,%d) = %d, want %d", tc.addr, tc.size, got, tc.want)
+		}
+	}
+}
+
+func TestRoundUpProperty(t *testing.T) {
+	f := func(n uint32, shift uint8) bool {
+		to := uint64(1) << (shift % 20)
+		r := RoundUp(uint64(n), to)
+		return r >= uint64(n) && r%to == 0 && r-uint64(n) < to
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapNeverReusesAddresses(t *testing.T) {
+	as := NewAddressSpace(0, 1<<40, LargePageShiftXeon)
+	m1 := as.Map(64*KiB, 0, SmallPages)
+	as.Unmap(m1)
+	m2 := as.Map(64*KiB, 0, SmallPages)
+	if m2.Base < m1.End() {
+		t.Fatalf("address reuse after Unmap: first [%#x,%#x), second base %#x",
+			m1.Base, m1.End(), m2.Base)
+	}
+}

@@ -1,0 +1,79 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Chart renders a horizontal ASCII bar chart, used by cmd/webmm to plot the
+// paper's figures next to their tables.
+type Chart struct {
+	Title string
+	rows  []chartRow
+	// Baseline draws a reference mark at this value (e.g. 1.0 for
+	// relative-throughput charts); nil for none.
+	Baseline *float64
+}
+
+type chartRow struct {
+	label string
+	value float64
+}
+
+// NewChart creates a chart with a title.
+func NewChart(title string) *Chart { return &Chart{Title: title} }
+
+// Add appends one bar.
+func (c *Chart) Add(label string, value float64) {
+	c.rows = append(c.rows, chartRow{label, value})
+}
+
+// SetBaseline draws a '|' reference at v on every bar's scale.
+func (c *Chart) SetBaseline(v float64) { c.Baseline = &v }
+
+// String renders the chart with bars scaled to the maximum value.
+func (c *Chart) String() string {
+	const width = 50
+	var max float64
+	labelW := 0
+	for _, r := range c.rows {
+		if r.value > max {
+			max = r.value
+		}
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	if c.Baseline != nil && *c.Baseline > max {
+		max = *c.Baseline
+	}
+	if max <= 0 {
+		max = 1
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	basePos := -1
+	if c.Baseline != nil {
+		basePos = int(*c.Baseline / max * width)
+	}
+	for _, r := range c.rows {
+		n := int(r.value / max * width)
+		bar := make([]byte, width+1)
+		for i := range bar {
+			switch {
+			case i < n:
+				bar[i] = '#'
+			case i == basePos:
+				bar[i] = '|'
+			default:
+				bar[i] = ' '
+			}
+		}
+		fmt.Fprintf(&b, "  %s  %s %s\n", pad(r.label, labelW),
+			strings.TrimRight(string(bar), " "), F(r.value, 1))
+	}
+	return b.String()
+}

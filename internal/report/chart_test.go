@@ -1,0 +1,49 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBarsScaleToMax(t *testing.T) {
+	c := NewChart("demo")
+	c.Add("half", 50)
+	c.Add("full", 100)
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	halfBars := strings.Count(lines[1], "#")
+	fullBars := strings.Count(lines[2], "#")
+	if fullBars != 50 {
+		t.Errorf("full bar has %d marks, want 50", fullBars)
+	}
+	if halfBars < 24 || halfBars > 26 {
+		t.Errorf("half bar has %d marks, want ~25", halfBars)
+	}
+}
+
+func TestChartBaselineMark(t *testing.T) {
+	c := NewChart("")
+	c.SetBaseline(1.0)
+	c.Add("below", 0.5)
+	c.Add("above", 1.2)
+	out := c.String()
+	if !strings.Contains(out, "|") {
+		t.Fatalf("baseline mark missing:\n%s", out)
+	}
+	// The below-baseline bar must show the reference past its bars.
+	first := strings.Split(out, "\n")[0]
+	if strings.Index(first, "|") < strings.LastIndex(first, "#") {
+		t.Errorf("baseline before bar end on a below-baseline row:\n%s", out)
+	}
+}
+
+func TestChartEmptyAndZero(t *testing.T) {
+	c := NewChart("z")
+	c.Add("zero", 0)
+	if out := c.String(); !strings.Contains(out, "zero") {
+		t.Fatalf("zero-value chart broken:\n%s", out)
+	}
+}

@@ -1,0 +1,118 @@
+// Package report renders the experiment results as aligned text tables and
+// CSV, in the same row/column layout as the paper's tables and figure data.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// New returns a table with the given title and column header.
+func New(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends one row.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			for i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total-2))
+		b.WriteByte('\n')
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header first).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// F formats a float with the given precision.
+func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// Pct formats a ratio as a signed percentage change ("+7.2%", "-24.9%").
+func Pct(ratio float64) string { return fmt.Sprintf("%+.1f%%", (ratio-1)*100) }
+
+// PctOf formats a plain percentage ("85.0%").
+func PctOf(frac float64) string { return fmt.Sprintf("%.1f%%", frac*100) }
+
+// MB formats bytes as mebibytes.
+func MB(bytes float64) string { return fmt.Sprintf("%.1fMB", bytes/(1<<20)) }
+
+// X formats a speedup ("6.4x").
+func X(v float64) string { return fmt.Sprintf("%.1fx", v) }

@@ -1,0 +1,51 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.Add("alpha", "1")
+	tb.Add("b", "22222")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, underline, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Demo") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	// Columns align: "value" starts at the same offset in every row.
+	idx := strings.Index(lines[2], "value")
+	if strings.Index(lines[4], "1") != idx {
+		t.Errorf("column misaligned:\n%s", out)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.Add(`x,y`, `he said "hi"`)
+	csv := tb.CSV()
+	want := "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{F(3.14159, 2), "3.14"},
+		{Pct(1.072), "+7.2%"},
+		{Pct(0.751), "-24.9%"},
+		{PctOf(0.85), "85.0%"},
+		{MB(3 << 20), "3.0MB"},
+		{X(6.42), "6.4x"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}

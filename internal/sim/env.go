@@ -1,0 +1,151 @@
+package sim
+
+import "webmm/internal/mem"
+
+// Code-region bases. All processes run the same binary and shared libraries,
+// so instruction addresses are shared machine-wide (the OS shares the text
+// pages); the simulator exploits this by giving every stream the same code
+// addresses.
+const (
+	codeBaseAlloc = mem.Addr(0x0800_0000)
+	codeBaseApp   = mem.Addr(0x1000_0000)
+	codeBaseOS    = mem.Addr(0x1800_0000)
+
+	// bytesPerInstr approximates average instruction size for fetch
+	// purposes (x86 averages ~3.5-4 bytes; SPARC is 4).
+	bytesPerInstr = 4
+
+	// maxFetchLines caps the sequential fetch run of a single Instr
+	// call: real code takes a branch at least every couple of KiB.
+	maxFetchLines = 32
+)
+
+// CodeLayout fixes the simulated address and footprint of each component's
+// code. The allocator footprint varies per allocator (the paper attributes
+// part of DDmalloc's L1I improvement to its smaller code), so it is set per
+// run; application and OS footprints model the PHP/Ruby interpreter and
+// kernel paths.
+type CodeLayout struct {
+	base [NumClasses]mem.Addr
+	size [NumClasses]uint64
+}
+
+// NewCodeLayout builds a layout with the given allocator code footprint and
+// application (interpreter + compiled script) code footprint, in bytes.
+func NewCodeLayout(allocCode, appCode uint64) *CodeLayout {
+	cl := &CodeLayout{}
+	cl.base[ClassAlloc] = codeBaseAlloc
+	cl.base[ClassApp] = codeBaseApp
+	cl.base[ClassOS] = codeBaseOS
+	cl.size[ClassAlloc] = max64(allocCode, mem.LineSize)
+	cl.size[ClassApp] = max64(appCode, mem.LineSize)
+	cl.size[ClassOS] = 32 * mem.KiB
+	return cl
+}
+
+// Env is the generation-side context handed to allocators, runtimes and
+// workloads. It records every memory access and retired instruction into a
+// buffer that the machine later prices against the cache hierarchy.
+type Env struct {
+	// AS is the process's simulated address space.
+	AS *mem.AddressSpace
+	// Rand is the stream's private random source.
+	Rand RNG
+
+	code   *CodeLayout
+	events []Event
+	instr  [NumClasses]uint64
+}
+
+// NewEnv returns an Env drawing addresses from as and randomness from a
+// generator seeded with seed.
+func NewEnv(as *mem.AddressSpace, code *CodeLayout, seed uint64) *Env {
+	return &Env{AS: as, Rand: NewRNG(seed), code: code,
+		events: make([]Event, 0, 4096)}
+}
+
+// Read records a data load of size bytes at a.
+func (e *Env) Read(a mem.Addr, size uint64, c Class) {
+	e.events = append(e.events, Event{Addr: a, Size: uint32(size), Kind: Read, Class: c})
+}
+
+// Write records a data store of size bytes at a.
+func (e *Env) Write(a mem.Addr, size uint64, c Class) {
+	e.events = append(e.events, Event{Addr: a, Size: uint32(size), Kind: Write, Class: c})
+}
+
+// Copy records a memcpy of n bytes from src to dst (realloc's copy,
+// attributed to class c, with its instruction cost).
+func (e *Env) Copy(dst, src mem.Addr, n uint64, c Class) {
+	if n == 0 {
+		return
+	}
+	e.Instr(4+n/8, c) // ~1 instruction per 8-byte word plus setup
+	e.Read(src, n, c)
+	e.Write(dst, n, c)
+}
+
+// Instr records n retired instructions of class c and the instruction
+// fetches they cause. Each call starts at a pseudo-random line inside the
+// component's code region (hot-biased) and fetches sequentially, modelling a
+// basic-block run; bigger code footprints therefore miss more in the L1
+// I-cache, which is how the paper's allocator-code-size effect arises.
+func (e *Env) Instr(n uint64, c Class) {
+	if n == 0 {
+		return
+	}
+	e.instr[c] += n
+	footprint := e.code.size[c]
+	lines := footprint / mem.LineSize
+	if lines == 0 {
+		lines = 1
+	}
+	// Concentrate fetches on the "hot" low region of the code (u^4: the
+	// hottest sixteenth of the footprint takes half the fetches), as
+	// real instruction profiles do.
+	u := e.Rand.Float64()
+	u *= u
+	u *= u
+	start := uint64(u * float64(lines))
+	if start >= lines {
+		start = lines - 1
+	}
+	nlines := (n*bytesPerInstr + mem.LineSize - 1) / mem.LineSize
+	if nlines > maxFetchLines {
+		nlines = maxFetchLines
+	}
+	base := e.code.base[c]
+	for i := uint64(0); i < nlines; i++ {
+		line := (start + i) % lines
+		e.events = append(e.events, Event{
+			Addr:  base + mem.Addr(line*mem.LineSize),
+			Size:  mem.LineSize,
+			Kind:  IFetch,
+			Class: c,
+		})
+	}
+}
+
+// Instructions returns the per-class retired-instruction counters since the
+// last Drain.
+func (e *Env) Instructions() [NumClasses]uint64 { return e.instr }
+
+// Events returns the buffered events since the last Drain. The slice is
+// owned by the Env and invalidated by the next Drain.
+func (e *Env) Events() []Event { return e.events }
+
+// Drain resets the event buffer and instruction counters, returning the
+// counters that were accumulated.
+func (e *Env) Drain() (instr [NumClasses]uint64) {
+	instr = e.instr
+	e.instr = [NumClasses]uint64{}
+	e.events = e.events[:0]
+	return instr
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

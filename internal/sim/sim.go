@@ -1,0 +1,114 @@
+// Package sim defines the event vocabulary that connects the allocators and
+// workloads (which *generate* memory activity) to the memory-hierarchy
+// simulator (which *prices* it).
+//
+// Every logical memory touch an allocator or application performs — a
+// free-list node read, a boundary-tag write, an object initialization, a
+// realloc copy — is emitted as an Event. Instruction execution is emitted as
+// instruction-fetch events against a per-component code region plus a
+// per-class retired-instruction counter. The event stream is a pure function
+// of allocator/workload state and the seeded RNG; cache and bus state never
+// feed back into behaviour, which keeps every simulation bit-reproducible.
+package sim
+
+import (
+	"fmt"
+
+	"webmm/internal/mem"
+)
+
+// Class attributes an event to a software component, mirroring the paper's
+// OProfile breakdown of CPU time into "memory management" and "others"
+// (Figures 6 and 11).
+type Class uint8
+
+const (
+	// ClassAlloc is work inside malloc/free/realloc/freeAll.
+	ClassAlloc Class = iota
+	// ClassApp is application work: the PHP/Ruby program and runtime
+	// executing the transaction.
+	ClassApp
+	// ClassOS is operating-system work: mapping chunks, process restart.
+	ClassOS
+
+	NumClasses = 3
+)
+
+// String returns the class name used in reports.
+func (c Class) String() string {
+	switch c {
+	case ClassAlloc:
+		return "memory management"
+	case ClassApp:
+		return "others"
+	case ClassOS:
+		return "os"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Kind is the type of a memory access.
+type Kind uint8
+
+const (
+	// Read is a data load.
+	Read Kind = iota
+	// Write is a data store.
+	Write
+	// IFetch is an instruction fetch (goes to the L1 I-cache).
+	IFetch
+)
+
+// Event is one memory access. Size is in bytes; accesses larger than a cache
+// line are split by the cache model.
+type Event struct {
+	Addr  mem.Addr
+	Size  uint32
+	Kind  Kind
+	Class Class
+}
+
+// RNG is a SplitMix64 pseudo-random generator. It is the only source of
+// randomness in the whole simulator; a run is a pure function of its seeds.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) RNG { return RNG{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform uint64 in [0, n).
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n with n == 0")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Fork derives an independent generator, so subsystems can draw without
+// perturbing each other's sequences.
+func (r *RNG) Fork() RNG { return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03) }

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"webmm/internal/mem"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/1000 identical draws", same)
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(7)
+	const buckets = 16
+	var counts [buckets]int
+	const n = 160000
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	for b, c := range counts {
+		// Each bucket expects n/buckets = 10000; allow 5%.
+		if c < 9500 || c > 10500 {
+			t.Errorf("bucket %d: %d draws, want ~10000", b, c)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnvRecordsAccesses(t *testing.T) {
+	as := mem.NewAddressSpace(0, 1<<40, mem.LargePageShiftXeon)
+	env := NewEnv(as, NewCodeLayout(4*mem.KiB, 128*mem.KiB), 1)
+	m := as.Map(4096, 0, mem.SmallPages)
+
+	env.Write(m.Base, 64, ClassAlloc)
+	env.Read(m.Base+128, 8, ClassApp)
+
+	ev := env.Events()
+	if len(ev) != 2 {
+		t.Fatalf("got %d events, want 2", len(ev))
+	}
+	if ev[0].Kind != Write || ev[0].Class != ClassAlloc || ev[0].Addr != m.Base {
+		t.Errorf("event 0 = %+v", ev[0])
+	}
+	if ev[1].Kind != Read || ev[1].Class != ClassApp || ev[1].Size != 8 {
+		t.Errorf("event 1 = %+v", ev[1])
+	}
+}
+
+func TestEnvInstrEmitsFetchesWithinFootprint(t *testing.T) {
+	as := mem.NewAddressSpace(0, 1<<40, mem.LargePageShiftXeon)
+	const allocCode = 2 * mem.KiB
+	env := NewEnv(as, NewCodeLayout(allocCode, 128*mem.KiB), 1)
+
+	for i := 0; i < 100; i++ {
+		env.Instr(20, ClassAlloc)
+	}
+	instr := env.Instructions()
+	if instr[ClassAlloc] != 2000 {
+		t.Fatalf("instr count = %d, want 2000", instr[ClassAlloc])
+	}
+	for _, ev := range env.Events() {
+		if ev.Kind != IFetch {
+			t.Fatalf("unexpected non-fetch event %+v", ev)
+		}
+		off := uint64(ev.Addr - codeBaseAlloc)
+		if off >= allocCode {
+			t.Fatalf("fetch at offset %d outside %d-byte footprint", off, allocCode)
+		}
+	}
+}
+
+func TestEnvSmallerCodeFootprintFetchesFewerDistinctLines(t *testing.T) {
+	as := mem.NewAddressSpace(0, 1<<40, mem.LargePageShiftXeon)
+	distinct := func(code uint64) int {
+		env := NewEnv(as, NewCodeLayout(code, 128*mem.KiB), 99)
+		for i := 0; i < 2000; i++ {
+			env.Instr(12, ClassAlloc)
+		}
+		seen := map[mem.Addr]bool{}
+		for _, ev := range env.Events() {
+			seen[ev.Addr] = true
+		}
+		return len(seen)
+	}
+	small, large := distinct(1*mem.KiB), distinct(64*mem.KiB)
+	if small >= large {
+		t.Fatalf("small footprint touched %d lines, large %d; want small < large", small, large)
+	}
+}
+
+func TestEnvDrainResets(t *testing.T) {
+	as := mem.NewAddressSpace(0, 1<<40, mem.LargePageShiftXeon)
+	env := NewEnv(as, NewCodeLayout(4*mem.KiB, 128*mem.KiB), 1)
+	env.Instr(10, ClassApp)
+	env.Write(mem.Addr(1<<33), 8, ClassApp)
+
+	instr := env.Drain()
+	if instr[ClassApp] != 10 {
+		t.Fatalf("drained instr = %d, want 10", instr[ClassApp])
+	}
+	if len(env.Events()) != 0 {
+		t.Fatalf("events not cleared by Drain: %d left", len(env.Events()))
+	}
+	if env.Instructions()[ClassApp] != 0 {
+		t.Fatalf("instr counter not cleared by Drain")
+	}
+}
+
+func TestCopyEmitsReadAndWrite(t *testing.T) {
+	as := mem.NewAddressSpace(0, 1<<40, mem.LargePageShiftXeon)
+	env := NewEnv(as, NewCodeLayout(4*mem.KiB, 128*mem.KiB), 1)
+	src, dst := mem.Addr(1<<33), mem.Addr(1<<33+4096)
+	env.Copy(dst, src, 256, ClassAlloc)
+
+	var gotRead, gotWrite bool
+	for _, ev := range env.Events() {
+		switch {
+		case ev.Kind == Read && ev.Addr == src && ev.Size == 256:
+			gotRead = true
+		case ev.Kind == Write && ev.Addr == dst && ev.Size == 256:
+			gotWrite = true
+		}
+	}
+	if !gotRead || !gotWrite {
+		t.Fatalf("copy events missing: read=%v write=%v", gotRead, gotWrite)
+	}
+	if env.Instructions()[ClassAlloc] == 0 {
+		t.Fatalf("copy recorded no instructions")
+	}
+}

@@ -1,0 +1,385 @@
+package workload
+
+import (
+	"fmt"
+
+	"webmm/internal/heap"
+	"webmm/internal/mem"
+	"webmm/internal/sim"
+)
+
+// Object-size mixture weights. The components model PHP's allocation mix:
+// mostly zvals/strings below the mean, a band of hash buckets and medium
+// strings, occasional arrays, and rare large buffers. The mixture is scaled
+// so its analytic mean equals the profile's Table 3 mean.
+const (
+	wSmall = 0.80   // uniform [8, a]
+	wMid   = 0.1695 // uniform [a, 3a]
+	wBig   = 0.03   // uniform [3a, 20a]
+	wHuge  = 0.0005 // uniform [4 KiB, 64 KiB]
+)
+
+// instrChunk is the granularity at which accumulated application
+// instructions are emitted; it bounds the straight-line fetch run like the
+// interpreter's dispatch loop does.
+const instrChunk = 1500
+
+type obj struct {
+	p    heap.Ptr
+	size uint64
+}
+
+type survivor struct {
+	obj
+	dies int // transaction count at which it is freed
+}
+
+// Generator drives one allocator with one workload profile. It is bound to
+// a stream's Env and produces the transaction's memory behaviour in bounded
+// slices. The generator issues the allocator API calls; the runtime
+// (internal/apprt) decides what happens at transaction boundaries.
+type Generator struct {
+	env   *sim.Env
+	alloc heap.Allocator
+	prof  Profile
+	rng   sim.RNG
+
+	// Scaled per-transaction counts.
+	nMalloc, nFree, nRealloc int
+	appInstrPerStep          float64
+	outBytesPerStep          float64
+	sizeScale                float64
+
+	appData mem.Mapping
+	outBuf  mem.Mapping
+	outOff  uint64
+
+	live      []obj
+	freeDebt  float64
+	instrDebt float64
+	outDebt   float64
+	cursor    int
+	txns      int
+
+	// Cross-transaction survivors (Ruby study): fraction of the objects
+	// alive at transaction end that live on for several transactions,
+	// punching the holes that age the heap.
+	SurvivorFrac float64
+	SurvivorLife int
+	survivors    []survivor
+
+	stats heap.Stats // API calls issued by this generator (Table 3 view)
+}
+
+// NewGenerator builds a generator for prof running against alloc at the
+// given scale divisor (1 = paper scale; larger values shrink the
+// transaction proportionally, see DESIGN.md §5.4).
+func NewGenerator(env *sim.Env, alloc heap.Allocator, prof Profile, scale int) *Generator {
+	if scale < 1 {
+		panic("workload: scale must be >= 1")
+	}
+	g := &Generator{
+		env:   env,
+		alloc: alloc,
+		prof:  prof,
+		rng:   env.Rand.Fork(),
+
+		nMalloc:      maxInt(prof.Mallocs/scale, 8),
+		nFree:        prof.Frees / scale,
+		nRealloc:     prof.Reallocs / scale,
+		SurvivorFrac: 0,
+		SurvivorLife: 12,
+	}
+	g.appInstrPerStep = float64(prof.AppInstr) / float64(scale) / float64(g.nMalloc)
+	g.outBytesPerStep = float64(prof.OutputKB*1024) / float64(scale) / float64(g.nMalloc)
+
+	// Solve the mixture scale so the analytic mean hits AvgSize.
+	a := prof.AvgSize
+	analytic := wSmall*(4+a/2) + wMid*2*a + wBig*11.5*a + wHuge*(4096+65536)/2
+	g.sizeScale = a / analytic
+
+	dataBytes := maxU64(prof.AppDataBytes/uint64(scale), 256*mem.KiB)
+	g.appData = env.AS.Map(dataBytes, 0, mem.SmallPages)
+	g.outBuf = env.AS.Map(maxU64(uint64(prof.OutputKB)*1024+4096, 64*mem.KiB), 0, mem.SmallPages)
+	return g
+}
+
+// Profile returns the generator's workload profile.
+func (g *Generator) Profile() Profile { return g.prof }
+
+// Stats returns the allocator API calls issued by the generator — the
+// regeneration of the paper's Table 3.
+func (g *Generator) Stats() heap.Stats { return g.stats }
+
+// StepsPerTransaction returns the scaled malloc count (the slice loop
+// bound).
+func (g *Generator) StepsPerTransaction() int { return g.nMalloc }
+
+// drawSize samples the object-size mixture.
+func (g *Generator) drawSize() uint64 {
+	a := g.prof.AvgSize
+	u := g.rng.Float64()
+	var s float64
+	switch {
+	case u < wSmall:
+		s = 8 + g.rng.Float64()*(a-8)
+	case u < wSmall+wMid:
+		s = a + g.rng.Float64()*2*a
+	case u < wSmall+wMid+wBig:
+		s = 3*a + g.rng.Float64()*17*a
+	default:
+		s = 4096 + g.rng.Float64()*(65536-4096)
+	}
+	size := uint64(s * g.sizeScale)
+	if size == 0 {
+		size = 1
+	}
+	return size
+}
+
+// RunSlice advances the current transaction by up to maxSteps allocation
+// steps, returning true when the transaction's allocation phase is
+// complete. The caller then finishes the transaction with EndTransaction
+// (and, for PHP-style runtimes, the allocator's FreeAll).
+func (g *Generator) RunSlice(maxSteps int) (done bool) {
+	if g.cursor == 0 {
+		g.beginTransaction()
+	}
+	end := g.cursor + maxSteps
+	if end > g.nMalloc {
+		end = g.nMalloc
+	}
+	for ; g.cursor < end; g.cursor++ {
+		g.step()
+	}
+	return g.cursor >= g.nMalloc
+}
+
+func (g *Generator) beginTransaction() {
+	// Free survivors whose time has come (Ruby study: expired sessions
+	// and caches release their memory in later transactions).
+	if g.alloc.SupportsFree() && len(g.survivors) > 0 {
+		kept := g.survivors[:0]
+		for _, s := range g.survivors {
+			if s.dies <= g.txns {
+				g.env.Read(s.p, 8, sim.ClassApp)
+				g.alloc.Free(s.p)
+				g.stats.Frees++
+			} else {
+				kept = append(kept, s)
+			}
+		}
+		g.survivors = kept
+	}
+}
+
+func (g *Generator) step() {
+	g.appWork()
+
+	// Allocate and initialize an object.
+	size := g.drawSize()
+	p := g.alloc.Malloc(size)
+	g.stats.Mallocs++
+	g.stats.BytesRequested += size
+	g.stats.BytesAllocated += heap.RoundedSize(size)
+	g.env.Write(p, size, sim.ClassApp)
+	g.live = append(g.live, obj{p, size})
+
+	// Re-read a recently created object (the script works on it).
+	if g.rng.Bool(0.35) && len(g.live) > 1 {
+		idx := len(g.live) - 1 - g.rng.Intn(minInt(8, len(g.live)))
+		o := g.live[idx]
+		g.env.Read(o.p, minU64(o.size, 64), sim.ClassApp)
+	}
+
+	// Revisit older live objects: scripts traverse arrays, symbol tables
+	// and strings built earlier in the transaction. The depth is
+	// recency-biased (u^2 from the top of the live stack) — most reads
+	// touch recent data, but the occasional deep read is what punishes
+	// an allocator that never reuses memory: the old objects of a
+	// bump-pointer heap have long since left the caches, while a reusing
+	// allocator keeps its working set compact.
+	if g.rng.Bool(0.5) && len(g.live) > 0 {
+		u := g.rng.Float64()
+		depth := int(u * u * float64(len(g.live)))
+		if depth >= len(g.live) {
+			depth = len(g.live) - 1
+		}
+		o := g.live[len(g.live)-1-depth]
+		g.env.Read(o.p, minU64(o.size, 64), sim.ClassApp)
+		if g.rng.Bool(0.2) {
+			g.env.Write(o.p, minU64(o.size, 16), sim.ClassApp)
+		}
+	}
+
+	// Per-object frees at the Table 3 rate, mostly LIFO.
+	if g.alloc.SupportsFree() {
+		g.freeDebt += float64(g.nFree) / float64(g.nMalloc)
+		for g.freeDebt >= 1 && len(g.live) > 0 {
+			g.freeDebt--
+			g.freeOne()
+		}
+	}
+
+	// Reallocs at the Table 3 rate (growing buffers/arrays).
+	if g.nRealloc > 0 && g.cursor%maxInt(g.nMalloc/g.nRealloc, 1) == 0 && len(g.live) > 0 {
+		g.reallocOne()
+	}
+
+	g.writeOutput()
+}
+
+// appWork emits the application's interpreter work: instructions in
+// dispatch-loop chunks and reads of the interpreter/script data region with
+// a hot bias.
+func (g *Generator) appWork() {
+	g.instrDebt += g.appInstrPerStep
+	for g.instrDebt >= instrChunk {
+		g.instrDebt -= instrChunk
+		g.env.Instr(instrChunk, sim.ClassApp)
+	}
+	for i := 0; i < 2; i++ {
+		g.env.Read(g.appData.Base+mem.Addr(g.hotOffset()), 32, sim.ClassApp)
+	}
+	if g.rng.Bool(0.25) {
+		g.env.Write(g.appData.Base+mem.Addr(g.hotOffset()), 16, sim.ClassApp)
+	}
+}
+
+// hotOffset draws a strongly hot-biased offset into the interpreter data
+// region (u^4: the hottest half of the region takes ~84% of the accesses,
+// matching the skew of interpreter structures and caches).
+func (g *Generator) hotOffset() uint64 {
+	u := g.rng.Float64()
+	u *= u
+	u *= u
+	return uint64(u*float64(g.appData.Size-64)) &^ 7
+}
+
+// freeOne releases a mostly-LIFO victim: the destructor reads the object,
+// then the allocator reclaims it.
+func (g *Generator) freeOne() {
+	depth := 0
+	for depth < len(g.live)-1 && g.rng.Bool(0.4) {
+		depth++
+	}
+	idx := len(g.live) - 1 - depth
+	o := g.live[idx]
+	copy(g.live[idx:], g.live[idx+1:])
+	g.live = g.live[:len(g.live)-1]
+
+	g.env.Read(o.p, 8, sim.ClassApp) // refcount check
+	g.alloc.Free(o.p)
+	g.stats.Frees++
+}
+
+// reallocOne grows a recent object (PHP's erealloc on strings and hash
+// tables).
+func (g *Generator) reallocOne() {
+	idx := len(g.live) - 1 - g.rng.Intn(minInt(16, len(g.live)))
+	o := &g.live[idx]
+	newSize := o.size + o.size/2 + 8
+	np := g.alloc.Realloc(o.p, o.size, newSize)
+	g.stats.Reallocs++
+	o.p = np
+	o.size = newSize
+}
+
+// writeOutput streams the response buffer (reused across transactions).
+func (g *Generator) writeOutput() {
+	g.outDebt += g.outBytesPerStep
+	for g.outDebt >= 256 {
+		g.outDebt -= 256
+		if g.outOff+256 > g.outBuf.Size {
+			g.outOff = 0
+		}
+		g.env.Write(g.outBuf.Base+mem.Addr(g.outOff), 256, sim.ClassApp)
+		g.env.Instr(40, sim.ClassApp)
+		g.outOff += 256
+	}
+}
+
+// EndTransaction completes the transaction's lifetime bookkeeping.
+//
+// With bulk=true (PHP runtimes) the remaining live objects are abandoned to
+// the caller's FreeAll. With bulk=false (Ruby runtimes) every remaining
+// object is freed per-object except the SurvivorFrac fraction, which lives
+// on for SurvivorLife transactions.
+func (g *Generator) EndTransaction(bulk bool) {
+	if g.cursor < g.nMalloc {
+		panic(fmt.Sprintf("workload: EndTransaction with %d/%d steps done", g.cursor, g.nMalloc))
+	}
+	if bulk {
+		g.live = g.live[:0]
+	} else {
+		for _, o := range g.live {
+			if g.SurvivorFrac > 0 && g.rng.Bool(g.SurvivorFrac) {
+				g.survivors = append(g.survivors, survivor{
+					obj:  o,
+					dies: g.txns + 1 + g.rng.Intn(g.SurvivorLife),
+				})
+				continue
+			}
+			g.env.Read(o.p, 8, sim.ClassApp)
+			g.alloc.Free(o.p)
+			g.stats.Frees++
+		}
+		g.live = g.live[:0]
+	}
+	g.cursor = 0
+	g.txns++
+}
+
+// LiveObjects reports the objects currently alive (mid-transaction) plus
+// survivors.
+func (g *Generator) LiveObjects() int { return len(g.live) + len(g.survivors) }
+
+// AbandonState drops all object tracking without freeing (used when a Ruby
+// process restarts: the dying process's heap simply disappears).
+func (g *Generator) AbandonState() {
+	g.live = g.live[:0]
+	g.survivors = g.survivors[:0]
+	g.cursor = 0
+}
+
+// SetAllocator rebinds the generator to a fresh allocator (process restart).
+func (g *Generator) SetAllocator(a heap.Allocator) { g.alloc = a }
+
+// RestartProcess models a process restart from the generator's side: all
+// object state is abandoned and the interpreter/script data and output
+// buffer move to fresh (cold) addresses, since the new process's memory
+// shares nothing with the old one.
+func (g *Generator) RestartProcess() {
+	g.AbandonState()
+	g.appData = g.env.AS.Map(g.appData.Size, 0, mem.SmallPages)
+	g.outBuf = g.env.AS.Map(g.outBuf.Size, 0, mem.SmallPages)
+	g.outOff = 0
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"webmm/internal/alloctest"
+	"webmm/internal/core"
+	"webmm/internal/heap"
+	"webmm/internal/sim"
+)
+
+func newGen(t testing.TB, prof Profile, scale int) (*Generator, *sim.Env, heap.Allocator) {
+	t.Helper()
+	env := alloctest.NewEnv(11)
+	alloc := core.New(env, core.DefaultOptions())
+	g := NewGenerator(env, alloc, prof, scale)
+	return g, env, alloc
+}
+
+func runTxn(g *Generator, env *sim.Env, bulk bool) {
+	for !g.RunSlice(4096) {
+		env.Drain()
+	}
+	g.EndTransaction(bulk)
+	env.Drain()
+}
+
+func TestTable3CountsRegenerate(t *testing.T) {
+	// At scale 1 the generator must reproduce the paper's Table 3
+	// malloc/free/realloc counts per transaction (±2% for frees, which
+	// are rate-driven).
+	for _, prof := range Profiles() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			scale := 8 // keep the test fast; counts scale exactly
+			g, env, _ := newGen(t, prof, scale)
+			runTxn(g, env, true)
+			s := g.Stats()
+			wantM := uint64(prof.Mallocs / scale)
+			if s.Mallocs != wantM {
+				t.Errorf("mallocs = %d, want %d", s.Mallocs, wantM)
+			}
+			wantF := float64(prof.Frees / scale)
+			if math.Abs(float64(s.Frees)-wantF) > wantF*0.02+2 {
+				t.Errorf("frees = %d, want ~%.0f", s.Frees, wantF)
+			}
+			wantR := float64(prof.Reallocs / scale)
+			if math.Abs(float64(s.Reallocs)-wantR) > wantR*0.15+2 {
+				t.Errorf("reallocs = %d, want ~%.0f", s.Reallocs, wantR)
+			}
+		})
+	}
+}
+
+func TestTable3AvgSizeRegenerates(t *testing.T) {
+	for _, prof := range Profiles() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			g, env, _ := newGen(t, prof, 4)
+			for i := 0; i < 3; i++ {
+				runTxn(g, env, true)
+			}
+			got := g.Stats().AvgAllocSize()
+			if math.Abs(got-prof.AvgSize) > prof.AvgSize*0.10 {
+				t.Errorf("avg alloc size = %.1f, want %.1f +/- 10%%", got, prof.AvgSize)
+			}
+		})
+	}
+}
+
+func TestFreeRatioMatchesPaperRange(t *testing.T) {
+	// Paper: "The number of free calls is 7.9% to 27.3% (15.3% on
+	// average) less than that of malloc."
+	var sum float64
+	for _, p := range Profiles() {
+		r := 1 - p.FreeRatio()
+		if r < 0.079-0.005 || r > 0.273+0.005 {
+			t.Errorf("%s: free deficit %.3f outside the paper's 7.9%%..27.3%%", p.Name, r)
+		}
+		sum += r
+	}
+	avg := sum / float64(len(Profiles()))
+	if math.Abs(avg-0.153) > 0.02 {
+		t.Errorf("average free deficit %.3f, want ~0.153", avg)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() heap.Stats {
+		g, env, _ := newGen(t, PhpBB(), 8)
+		runTxn(g, env, true)
+		return g.Stats()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed produced different streams:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSlicingProducesSameStreamAsOneShot(t *testing.T) {
+	collect := func(slice int) heap.Stats {
+		g, env, _ := newGen(t, PhpBB(), 8)
+		for !g.RunSlice(slice) {
+			env.Drain()
+		}
+		g.EndTransaction(true)
+		return g.Stats()
+	}
+	if small, big := collect(64), collect(1<<20); small != big {
+		t.Fatalf("slice size changed the stream:\n%+v\n%+v", small, big)
+	}
+}
+
+func TestEndTransactionPerObjectFreesEverything(t *testing.T) {
+	g, env, alloc := newGen(t, PhpBB(), 8)
+	g.SurvivorFrac = 0
+	runTxn(g, env, false)
+	if g.LiveObjects() != 0 {
+		t.Fatalf("%d objects live after per-object cleanup", g.LiveObjects())
+	}
+	s := alloc.Stats()
+	if s.Frees != s.Mallocs {
+		t.Fatalf("allocator saw %d frees for %d mallocs; per-object cleanup must free all",
+			s.Frees, s.Mallocs)
+	}
+}
+
+func TestSurvivorsOutliveTransactions(t *testing.T) {
+	g, env, _ := newGen(t, PhpBB(), 8)
+	g.SurvivorFrac = 0.5
+	g.SurvivorLife = 3
+	runTxn(g, env, false)
+	if g.LiveObjects() == 0 {
+		t.Fatal("no survivors with SurvivorFrac=0.5")
+	}
+	// After SurvivorLife more transactions all old survivors are gone
+	// (replaced by newer generations, so count stays bounded).
+	counts := make([]int, 6)
+	for i := range counts {
+		runTxn(g, env, false)
+		counts[i] = g.LiveObjects()
+	}
+	if counts[5] > 4*counts[1]+100 {
+		t.Fatalf("survivor population keeps growing: %v", counts)
+	}
+}
+
+func TestBulkEndLeavesFreeAllToCaller(t *testing.T) {
+	g, env, alloc := newGen(t, PhpBB(), 8)
+	runTxn(g, env, true)
+	s := alloc.Stats()
+	if s.FreeAlls != 0 {
+		t.Fatal("generator called FreeAll; that is the runtime's job")
+	}
+	if s.Frees >= s.Mallocs {
+		t.Fatalf("bulk path freed everything per-object (%d frees / %d mallocs)",
+			s.Frees, s.Mallocs)
+	}
+}
+
+func TestAppWorkEmitsApplicationClass(t *testing.T) {
+	g, env, _ := newGen(t, MediaWikiRO(), 32)
+	for !g.RunSlice(512) {
+		break
+	}
+	instr := env.Instructions()
+	if instr[sim.ClassApp] == 0 {
+		t.Fatal("no application instructions emitted")
+	}
+	if instr[sim.ClassAlloc] == 0 {
+		t.Fatal("no allocator instructions emitted")
+	}
+	if instr[sim.ClassApp] < 10*instr[sim.ClassAlloc] {
+		t.Errorf("app/alloc instruction ratio %d/%d; PHP work must dwarf the allocator",
+			instr[sim.ClassApp], instr[sim.ClassAlloc])
+	}
+}
+
+func TestScaleDividesWork(t *testing.T) {
+	g1, env1, _ := newGen(t, PhpBB(), 4)
+	runTxn(g1, env1, true)
+	g2, env2, _ := newGen(t, PhpBB(), 8)
+	runTxn(g2, env2, true)
+	diff := int64(g1.Stats().Mallocs) - 2*int64(g2.Stats().Mallocs)
+	if diff < -2 || diff > 2 {
+		t.Fatalf("scale 4 made %d mallocs, scale 8 made %d; want 2x within rounding",
+			g1.Stats().Mallocs, g2.Stats().Mallocs)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, p := range append(Profiles(), Rails()) {
+		got, err := ByName(p.Name)
+		if err != nil || got.Name != p.Name {
+			t.Errorf("ByName(%q) = %v, %v", p.Name, got.Name, err)
+		}
+	}
+	if _, err := ByName("WordPress"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRegionSkipsFreeCalls(t *testing.T) {
+	// The paper's modification for region-based management removes the
+	// per-object free calls; the generator honours SupportsFree.
+	env := alloctest.NewEnv(12)
+	alloc := noFreeAlloc{heap.Allocator(core.New(env, core.DefaultOptions()))}
+	g := NewGenerator(env, alloc, PhpBB(), 8)
+	for !g.RunSlice(1 << 20) {
+	}
+	g.EndTransaction(true)
+	if g.Stats().Frees != 0 {
+		t.Fatalf("generator issued %d frees to a no-free allocator", g.Stats().Frees)
+	}
+}
+
+// noFreeAlloc wraps an allocator, reporting no per-object free support.
+type noFreeAlloc struct{ heap.Allocator }
+
+func (noFreeAlloc) SupportsFree() bool { return false }

@@ -1,0 +1,186 @@
+// Package webmm is a simulation study of memory management for web-based
+// applications on multicore processors, reproducing Inoue, Komatsu &
+// Nakatani (PLDI 2009).
+//
+// The library bundles three things:
+//
+//   - Allocators: faithful models of the paper's seven allocators — the
+//     defrag-dodging DDmalloc (the paper's contribution), a region-based
+//     bump allocator, the PHP runtime's default (Zend-like) allocator, a
+//     GNU-obstack model, and glibc/Hoard/TCmalloc models for the Ruby
+//     study — all operating on a simulated 64-bit address space and
+//     emitting every memory touch for pricing.
+//
+//   - Machines: trace-driven models of the paper's two platforms, an
+//     8-core Intel Xeon E5320 (Clovertown) and an 8-core, 32-thread Sun
+//     UltraSPARC T1 (Niagara), with set-associative caches, TLBs, a stream
+//     prefetcher (Xeon), and a finite-bandwidth shared bus.
+//
+//   - Workloads and experiments: transaction generators calibrated to the
+//     paper's Table 3 for its seven PHP applications plus Ruby on Rails,
+//     and runners that regenerate every table and figure of the paper's
+//     evaluation (see internal/experiments and cmd/webmm).
+//
+// Quick use: build a Sandbox (one simulated core), create an allocator on
+// it, and exercise it; or use Study to run the paper's experiments.
+package webmm
+
+import (
+	"webmm/internal/apprt"
+	"webmm/internal/cpu"
+	"webmm/internal/experiments"
+	"webmm/internal/heap"
+	"webmm/internal/machine"
+	"webmm/internal/mem"
+	"webmm/internal/report"
+	"webmm/internal/sim"
+	"webmm/internal/workload"
+)
+
+// Allocator is the allocator interface of the study: Malloc, Free, Realloc,
+// FreeAll, capability flags, footprint and statistics. See internal/heap
+// for the full contract.
+type Allocator = heap.Allocator
+
+// Ptr is a simulated object address (0 is the null pointer).
+type Ptr = heap.Ptr
+
+// AllocStats counts allocator API traffic (the paper's Table 3 view).
+type AllocStats = heap.Stats
+
+// Platform describes one simulated machine.
+type Platform = machine.Platform
+
+// HardwareCounters are the OProfile-style event counts the simulator
+// reports (instructions, cache misses, TLB misses, bus transactions).
+type HardwareCounters = cpu.Counters
+
+// MachineResult is a solved simulation outcome: throughput, wall time, bus
+// utilization, per-component cycle attribution and hardware counters.
+type MachineResult = machine.Result
+
+// WorkloadProfile describes one of the paper's workloads (Table 2/3).
+type WorkloadProfile = workload.Profile
+
+// Xeon returns the Intel Xeon E5320 (Clovertown) platform model.
+func Xeon() Platform { return machine.Xeon() }
+
+// Niagara returns the Sun UltraSPARC T1 platform model.
+func Niagara() Platform { return machine.Niagara() }
+
+// AllocatorNames lists the allocators available to NewAllocator:
+// "default", "region", "ddmalloc", "obstack", "glibc", "hoard", "tcmalloc".
+func AllocatorNames() []string { return apprt.AllocatorNames() }
+
+// Workloads returns the paper's PHP workload profiles in Table 2 order.
+func Workloads() []WorkloadProfile { return workload.Profiles() }
+
+// WorkloadByName looks a profile up by its report name.
+func WorkloadByName(name string) (WorkloadProfile, error) { return workload.ByName(name) }
+
+// Sandbox is a single-core simulated machine for exercising allocators
+// directly: create allocators on it, run malloc/free traffic, then Measure
+// to price the recorded accesses through the cache hierarchy.
+type Sandbox struct {
+	m   *machine.Machine
+	env *sim.Env
+}
+
+// NewSandbox builds a one-core sandbox of the platform. allocCode is the
+// simulated code footprint used for allocator instructions (pass 0 for a
+// reasonable default).
+func NewSandbox(p Platform, seed uint64) *Sandbox {
+	m := machine.New(p, 1, 16*mem.KiB, 192*mem.KiB, seed)
+	return &Sandbox{m: m, env: m.Streams()[0].Env}
+}
+
+// NewAllocator constructs a named allocator on the sandbox's address space.
+func (s *Sandbox) NewAllocator(name string) (Allocator, error) {
+	return apprt.NewAllocator(name, s.env, apprt.AllocOptions{})
+}
+
+// NewDDmalloc constructs the paper's allocator with explicit options
+// (segment size, large pages, metadata displacement).
+func (s *Sandbox) NewDDmalloc(opts DDOptions) Allocator {
+	return newDD(s.env, opts)
+}
+
+// Touch records an application read or write of size bytes at p, so object
+// usage (not just allocator work) flows through the cache model.
+func (s *Sandbox) Touch(p Ptr, size uint64, write bool) {
+	if write {
+		s.env.Write(p, size, sim.ClassApp)
+	} else {
+		s.env.Read(p, size, sim.ClassApp)
+	}
+}
+
+// Work records n application instructions.
+func (s *Sandbox) Work(n uint64) { s.env.Instr(n, sim.ClassApp) }
+
+// Warm prices all recorded events without measuring them (cache warmup).
+func (s *Sandbox) Warm() { s.m.PriceSetup() }
+
+// Measure prices all recorded events into the measured counters and marks
+// the end of one logical transaction.
+func (s *Sandbox) Measure() { s.m.PriceMeasured() }
+
+// Result solves the timing model for everything measured so far.
+func (s *Sandbox) Result() MachineResult { return s.m.Solve() }
+
+// Study runs the paper's experiments. The zero Config is not valid; use
+// DefaultStudyConfig or fill the fields explicitly.
+type Study struct{ r *experiments.Runner }
+
+// StudyConfig controls simulation scale and measurement length; see
+// internal/experiments.Config.
+type StudyConfig = experiments.Config
+
+// DefaultStudyConfig is sized for interactive use (coarse scale).
+func DefaultStudyConfig() StudyConfig { return experiments.DefaultConfig() }
+
+// NewStudy builds a study runner.
+func NewStudy(cfg StudyConfig) *Study { return &Study{r: experiments.NewRunner(cfg)} }
+
+// Compare runs one workload on one platform across the PHP-study allocators
+// at the given core count and returns throughput relative to the default
+// allocator, keyed by allocator name.
+func (s *Study) Compare(platform, workloadName string, cores int) map[string]float64 {
+	base := s.r.Run(experiments.Cell{Platform: platform, Alloc: "default",
+		Workload: workloadName, Cores: cores})
+	out := make(map[string]float64)
+	for _, alloc := range experiments.PHPAllocators() {
+		cr := s.r.Run(experiments.Cell{Platform: platform, Alloc: alloc,
+			Workload: workloadName, Cores: cores})
+		if base.Res.Throughput > 0 {
+			out[alloc] = cr.Res.Throughput / base.Res.Throughput
+		}
+	}
+	return out
+}
+
+// RunCell simulates one (platform, allocator, workload, cores) cell and
+// returns the solved machine result.
+func (s *Study) RunCell(platform, alloc, workloadName string, cores int) MachineResult {
+	return s.r.Run(experiments.Cell{Platform: platform, Alloc: alloc,
+		Workload: workloadName, Cores: cores}).Res
+}
+
+// RunRubyCell simulates one Ruby-study cell (Rails on 8 Xeon cores with the
+// given allocator and restart period in full-scale transactions; 0 disables
+// restarts).
+func (s *Study) RunRubyCell(alloc string, restartEvery int) MachineResult {
+	return s.r.Run(experiments.Cell{Platform: "xeon", Alloc: alloc,
+		Workload: workload.Rails().Name, Cores: 8,
+		Ruby: true, RestartEvery: restartEvery}).Res
+}
+
+// Runner exposes the underlying experiment runner for figure-level APIs
+// (experiments.Fig5, experiments.Table4, ...).
+func (s *Study) Runner() *experiments.Runner { return s.r }
+
+// NewReportTable creates an aligned text/CSV table (re-exported for
+// examples and tools building custom reports).
+func NewReportTable(title string, header ...string) *report.Table {
+	return report.New(title, header...)
+}

@@ -1,0 +1,108 @@
+package webmm_test
+
+import (
+	"testing"
+
+	"webmm"
+)
+
+func TestSandboxAllocatorRoundTrip(t *testing.T) {
+	sb := webmm.NewSandbox(webmm.Xeon(), 1)
+	for _, name := range webmm.AllocatorNames() {
+		a, err := sb.NewAllocator(name)
+		if err != nil {
+			t.Fatalf("NewAllocator(%q): %v", name, err)
+		}
+		p := a.Malloc(128)
+		if p == 0 {
+			t.Fatalf("%s: null pointer", name)
+		}
+		sb.Touch(p, 128, true)
+		if a.SupportsFree() {
+			a.Free(p)
+		}
+	}
+	sb.Measure()
+	res := sb.Result()
+	if res.Totals.Instr == 0 {
+		t.Fatal("no instructions measured through the sandbox")
+	}
+}
+
+func TestSandboxDDmallocOptions(t *testing.T) {
+	sb := webmm.NewSandbox(webmm.Niagara(), 2)
+	dd := sb.NewDDmalloc(webmm.DDOptions{SegmentSize: 64 * 1024, LargePages: true, PID: 3})
+	p := dd.Malloc(100)
+	q := dd.Malloc(100)
+	if q-p != 104 {
+		t.Fatalf("objects %d apart, want 104 (headerless class packing)", q-p)
+	}
+}
+
+func TestSandboxMeasureProducesThroughput(t *testing.T) {
+	sb := webmm.NewSandbox(webmm.Xeon(), 3)
+	dd := sb.NewDDmalloc(webmm.DDOptions{})
+	for txn := 0; txn < 2; txn++ {
+		for i := 0; i < 500; i++ {
+			p := dd.Malloc(64)
+			sb.Touch(p, 64, true)
+			sb.Work(100)
+			dd.Free(p)
+		}
+		dd.FreeAll()
+		if txn == 0 {
+			sb.Warm()
+		} else {
+			sb.Measure()
+		}
+	}
+	res := sb.Result()
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput = %v", res.Throughput)
+	}
+	if res.CyclesPerTxn() <= 0 {
+		t.Fatal("no cycles attributed")
+	}
+}
+
+func TestWorkloadRegistry(t *testing.T) {
+	wls := webmm.Workloads()
+	if len(wls) != 7 {
+		t.Fatalf("got %d workloads, want the paper's 7", len(wls))
+	}
+	for _, w := range wls {
+		got, err := webmm.WorkloadByName(w.Name)
+		if err != nil || got.Mallocs != w.Mallocs {
+			t.Errorf("WorkloadByName(%q) mismatch: %v", w.Name, err)
+		}
+	}
+}
+
+func TestSizeClassesExposed(t *testing.T) {
+	classes := webmm.SizeClasses()
+	if len(classes) == 0 || classes[0] != 8 {
+		t.Fatalf("size classes = %v", classes)
+	}
+	if webmm.RoundedSize(100) != 104 {
+		t.Fatalf("RoundedSize(100) = %d, want 104", webmm.RoundedSize(100))
+	}
+}
+
+func TestStudyCompare(t *testing.T) {
+	cfg := webmm.DefaultStudyConfig()
+	cfg.Scale = 64
+	cfg.Warmup, cfg.Measure = 1, 1
+	study := webmm.NewStudy(cfg)
+	rel := study.Compare("xeon", "phpBB", 1)
+	if len(rel) != 3 {
+		t.Fatalf("Compare returned %d allocators, want 3", len(rel))
+	}
+	if rel["default"] != 1.0 {
+		t.Fatalf("default relative throughput = %v, want 1.0", rel["default"])
+	}
+	for name, v := range rel {
+		if v <= 0 {
+			t.Errorf("%s relative throughput %v", name, v)
+		}
+	}
+}
