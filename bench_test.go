@@ -12,6 +12,7 @@
 package webmm_test
 
 import (
+	"runtime"
 	"testing"
 
 	"webmm"
@@ -65,6 +66,46 @@ func BenchmarkAllocGlibc(b *testing.B)    { benchAllocator(b, "glibc") }
 func BenchmarkAllocHoard(b *testing.B)    { benchAllocator(b, "hoard") }
 func BenchmarkAllocTCmalloc(b *testing.B) { benchAllocator(b, "tcmalloc") }
 func BenchmarkAllocObstack(b *testing.B)  { benchAllocator(b, "obstack") }
+
+// ---------------------------------------------------------------------------
+// Experiment scheduler: serial vs parallel wall-clock over a fixed cell
+// matrix (both platforms, all PHP allocators, 1 and 8 cores on MediaWiki
+// read-only — 12 independent cells). The parallel variant fans out over
+// GOMAXPROCS workers; results are bit-identical by construction, so the
+// delta is pure scheduling.
+
+func benchCellMatrix() []experiments.Cell {
+	wl := workload.MediaWikiRO().Name
+	var cells []experiments.Cell
+	for _, plat := range []string{"xeon", "niagara"} {
+		for _, alloc := range experiments.PHPAllocators() {
+			for _, cores := range []int{1, 8} {
+				cells = append(cells, experiments.Cell{
+					Platform: plat, Alloc: alloc, Workload: wl, Cores: cores,
+				})
+			}
+		}
+	}
+	return cells
+}
+
+func BenchmarkRunnerSerial(b *testing.B) {
+	cells := benchCellMatrix()
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		r.RunAll(cells, 1)
+	}
+}
+
+func BenchmarkRunnerParallel(b *testing.B) {
+	cells := benchCellMatrix()
+	jobs := runtime.GOMAXPROCS(0)
+	b.ReportMetric(float64(jobs), "jobs")
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		r.RunAll(cells, jobs)
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Figure 1: normalized CPU time per transaction, default vs region.

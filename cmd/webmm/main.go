@@ -5,16 +5,26 @@
 //
 //	webmm -exp all                 # every table and figure
 //	webmm -exp fig5 -scale 8       # one experiment at 1/8 scale
+//	webmm -exp table4 -jobs 8      # fan the cell matrix out over 8 workers
+//	webmm -exp all -cellcache .webmm-cache   # persist cells across runs
 //	webmm -exp cell -platform xeon -alloc ddmalloc -workload 'MediaWiki(ro)' -cores 8
 //
 // Experiments: fig1 table2 table3 fig5 fig6 fig7 table4 fig8 fig9 fig10
 // fig11 fig12 all cell.
+//
+// Each experiment's cells are enumerated by its planner and simulated by a
+// worker pool of -jobs goroutines before the tables render; cells are
+// independently seeded, so the parallel results are bit-identical to
+// -jobs 1, which runs exactly the historical serial loop. With -cellcache,
+// finished cells are persisted (keyed by config and simulator version) and
+// reloaded by later runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"webmm/internal/experiments"
@@ -30,6 +40,8 @@ func main() {
 		measure  = flag.Int("measure", 3, "measured transactions per stream")
 		seed     = flag.Uint64("seed", 20090615, "random seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers for the cell fan-out (1 = serial)")
+		cellDir  = flag.String("cellcache", "", "directory of the on-disk cell-result cache (empty = disabled)")
 		xeonLP   = flag.Bool("xeon-large-pages", false, "enable DDmalloc large pages on Xeon (paper's +11.7% variant)")
 		platform = flag.String("platform", "xeon", "cell: platform (xeon, niagara)")
 		alloc    = flag.String("alloc", "ddmalloc", "cell: allocator")
@@ -43,6 +55,14 @@ func main() {
 		Seed: *seed, XeonLargePages: *xeonLP,
 	}
 	r := experiments.NewRunner(cfg)
+	if *cellDir != "" {
+		cc, err := experiments.NewCellCache(*cellDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "webmm:", err)
+			os.Exit(2)
+		}
+		r.Cache = cc
+	}
 
 	emit := func(t *report.Table) {
 		if *csv {
@@ -53,6 +73,13 @@ func main() {
 	}
 
 	run := func(name string) error {
+		// Fan the experiment's cell plan out over the worker pool first;
+		// the figure code below then renders from memoized results. With
+		// -jobs 1 the fan-out is skipped and the figure loops run their
+		// historical serial order.
+		if cells := r.CellsFor(name); len(cells) > 0 && *jobs != 1 {
+			r.RunAll(cells, *jobs)
+		}
 		switch name {
 		case "fig1":
 			emit(experiments.Fig1(r).Table())

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// cellCacheVersion invalidates every on-disk entry when the simulator or
+// the stored result format changes. Bump it whenever a code change can
+// alter any cell's numbers; stale-version files are simply never matched
+// again (their keys differ) and any that are hit anyway fail the embedded
+// version check.
+const cellCacheVersion = 1
+
+// CellCache persists CellResults on disk so repeated CLI runs skip
+// already-simulated cells. Entries are keyed by a hash of (format version,
+// Config, Cell): changing any Config field — scale, warmup, measure, seed,
+// the large-page variant — produces different keys, so a cache directory
+// can safely be shared between configurations. A nil *CellCache is valid
+// and caches nothing, which is how the Runner treats "cache disabled".
+type CellCache struct {
+	dir string
+}
+
+// NewCellCache opens (creating if needed) a cache rooted at dir.
+func NewCellCache(dir string) (*CellCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cellcache: %w", err)
+	}
+	return &CellCache{dir: dir}, nil
+}
+
+// cellEntry is the on-disk format. Config and Cell are stored alongside the
+// result and re-verified on load, so a hash collision, a stale format, or a
+// corrupted file can never satisfy the wrong lookup — it just misses.
+type cellEntry struct {
+	Version int
+	Cfg     Config
+	Cell    Cell
+	Result  CellResult
+}
+
+func (cc *CellCache) path(cfg Config, c Cell) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("v%d|%+v|%+v", cellCacheVersion, cfg, c)))
+	return filepath.Join(cc.dir, hex.EncodeToString(h[:16])+".json")
+}
+
+// load returns the cached result for (cfg, c) if present and valid.
+func (cc *CellCache) load(cfg Config, c Cell) (CellResult, bool) {
+	if cc == nil {
+		return CellResult{}, false
+	}
+	data, err := os.ReadFile(cc.path(cfg, c))
+	if err != nil {
+		return CellResult{}, false
+	}
+	var e cellEntry
+	if err := json.Unmarshal(data, &e); err != nil ||
+		e.Version != cellCacheVersion || e.Cfg != cfg || e.Cell != c {
+		return CellResult{}, false
+	}
+	return e.Result, true
+}
+
+// store persists the result for (cfg, c). Failures are silent: the cache is
+// best-effort and a run must never fail because its cache directory did.
+// The write-then-rename keeps concurrent processes from observing partial
+// entries.
+func (cc *CellCache) store(cfg Config, c Cell, res CellResult) {
+	if cc == nil {
+		return
+	}
+	data, err := json.Marshal(cellEntry{
+		Version: cellCacheVersion, Cfg: cfg, Cell: c, Result: res,
+	})
+	if err != nil {
+		return
+	}
+	path := cc.path(cfg, c)
+	tmp := fmt.Sprintf("%s.tmp%d", path, os.Getpid())
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+	}
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"webmm/internal/workload"
+)
+
+// parCfg is a cheap config for the scheduler tests: the phpBB matrix below
+// simulates in well under a second per cell at this scale.
+func parCfg() Config { return Config{Scale: 64, Warmup: 1, Measure: 1, Seed: 7} }
+
+// parMatrix is a multi-cell plan covering both platforms, every PHP
+// allocator, and two core counts.
+func parMatrix() []Cell {
+	wl := workload.PhpBB().Name
+	var cells []Cell
+	for _, plat := range []string{"xeon", "niagara"} {
+		for _, alloc := range PHPAllocators() {
+			for _, cores := range []int{1, 2} {
+				cells = append(cells, phpCell(plat, alloc, wl, cores))
+			}
+		}
+	}
+	return cells
+}
+
+// TestRunAllMatchesSerial is the determinism contract of the scheduler:
+// fanning a matrix out over 4 workers must produce CellResults deep-equal
+// to the serial Run loop, and RunAll with jobs=1 (the CLI's -jobs 1 path)
+// must match as well.
+func TestRunAllMatchesSerial(t *testing.T) {
+	cells := parMatrix()
+
+	serial := NewRunner(parCfg())
+	want := make([]CellResult, len(cells))
+	for i, c := range cells {
+		want[i] = serial.Run(c)
+	}
+
+	par := NewRunner(parCfg())
+	got := par.RunAll(cells, 4)
+	for i := range cells {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Errorf("cell %+v: parallel result differs from serial", cells[i])
+		}
+	}
+
+	one := NewRunner(parCfg())
+	if gotOne := one.RunAll(cells, 1); !reflect.DeepEqual(want, gotOne) {
+		t.Error("RunAll(jobs=1) differs from the serial Run loop")
+	}
+}
+
+// TestConcurrentRunSameCell races many Run calls for one cell; under
+// `go test -race` this also proves the memo map and singleflight are
+// data-race free.
+func TestConcurrentRunSameCell(t *testing.T) {
+	r := NewRunner(parCfg())
+	c := phpCell("xeon", "ddmalloc", workload.PhpBB().Name, 1)
+	const n = 8
+	results := make([]CellResult, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results[i] = r.Run(c)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Fatalf("concurrent Run call %d returned a different result", i)
+		}
+	}
+}
+
+// TestRunAllDedupsDuplicates: duplicate cells in a plan share one
+// simulation but still fill every output slot, in order.
+func TestRunAllDedupsDuplicates(t *testing.T) {
+	r := NewRunner(parCfg())
+	c := phpCell("xeon", "default", workload.PhpBB().Name, 1)
+	d := phpCell("xeon", "region", workload.PhpBB().Name, 1)
+	got := r.RunAll([]Cell{c, d, c, c}, 2)
+	if len(got) != 4 {
+		t.Fatalf("RunAll returned %d results for 4 cells", len(got))
+	}
+	if !reflect.DeepEqual(got[0], got[2]) || !reflect.DeepEqual(got[0], got[3]) {
+		t.Error("duplicate cells returned differing results")
+	}
+	if got[1].Cell != d {
+		t.Error("results not in input order")
+	}
+}
+
+// TestCellPlannersCoverFigures: every planner yields cells, and a plan must
+// cover its figure exactly — running the plan first, the figure function
+// may not simulate any cell the planner missed.
+func TestCellPlannersCoverFigures(t *testing.T) {
+	r := NewRunner(parCfg())
+	for _, name := range []string{"fig1", "table3", "fig5", "fig6", "fig7",
+		"table4", "fig8", "fig9", "fig10", "fig11", "fig12", "all"} {
+		if len(r.CellsFor(name)) == 0 {
+			t.Errorf("CellsFor(%q) is empty", name)
+		}
+	}
+	if r.CellsFor("table2") != nil {
+		t.Error("table2 simulates nothing but has a cell plan")
+	}
+	if r.CellsFor("nonsense") != nil {
+		t.Error("unknown experiment has a cell plan")
+	}
+
+	// Coverage check on the biggest PHP plan (Table 4) and the Ruby sweep
+	// (Figure 12), at a coarse scale to stay fast.
+	cov := NewRunner(Config{Scale: 1024, Warmup: 1, Measure: 1, Seed: 7})
+	cov.RunAll(cov.Table4Cells(), 4)
+	before := len(cov.cells)
+	Table4(cov)
+	if after := len(cov.cells); after != before {
+		t.Errorf("Table4 simulated %d cells beyond its plan", after-before)
+	}
+	cov.RunAll(cov.Fig12Cells(), 4)
+	before = len(cov.cells)
+	Fig12(cov)
+	if after := len(cov.cells); after != before {
+		t.Errorf("Fig12 simulated %d cells beyond its plan", after-before)
+	}
+}
+
+// TestCellCache exercises the on-disk cache: store-on-miss, load in a fresh
+// runner, config-keyed invalidation, and corruption tolerance.
+func TestCellCache(t *testing.T) {
+	dir := t.TempDir()
+	cc, err := NewCellCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := parCfg()
+	c := phpCell("xeon", "region", workload.PhpBB().Name, 1)
+
+	r1 := NewRunner(cfg)
+	r1.Cache = cc
+	want := r1.Run(c)
+
+	// The entry must be on disk and loadable directly.
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("want 1 cache entry, got %d (err %v)", len(entries), err)
+	}
+	if got, ok := cc.load(cfg, c); !ok || !reflect.DeepEqual(got, want) {
+		t.Fatal("cache load does not round-trip the stored result")
+	}
+
+	// A fresh runner (a new process, effectively) must serve it from disk
+	// and return an identical result.
+	r2 := NewRunner(cfg)
+	r2.Cache = cc
+	if got := r2.Run(c); !reflect.DeepEqual(got, want) {
+		t.Error("cached result differs from simulated result")
+	}
+
+	// Any config change keys differently: no stale hits.
+	cfg2 := cfg
+	cfg2.Seed++
+	if _, ok := cc.load(cfg2, c); ok {
+		t.Error("cache hit across differing configs")
+	}
+
+	// A corrupted entry is ignored and the cell re-simulated bit-identically.
+	if err := os.WriteFile(entries[0], []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cc.load(cfg, c); ok {
+		t.Error("corrupted cache entry satisfied a load")
+	}
+	r3 := NewRunner(cfg)
+	r3.Cache = cc
+	if got := r3.Run(c); !reflect.DeepEqual(got, want) {
+		t.Error("re-simulated result after corruption differs")
+	}
+
+	// A nil cache is inert.
+	var nilCache *CellCache
+	if _, ok := nilCache.load(cfg, c); ok {
+		t.Error("nil cache returned a hit")
+	}
+	nilCache.store(cfg, c, want)
+}

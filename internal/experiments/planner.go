@@ -1,0 +1,164 @@
+package experiments
+
+import "webmm/internal/workload"
+
+// Cell planners. Each FigNCells/TableNCells method enumerates exactly the
+// cells its experiment function will ask the Runner for, in a deterministic
+// order, so a scheduler can fan the whole plan out over a worker pool
+// (Runner.RunAll) before the figure code renders from the memoized results.
+// Planners only enumerate — they never simulate — so they are cheap to call
+// and safe to combine; RunAll dedups cells shared between figures.
+
+// Fig1Cells plans Figure 1 (default vs region, MediaWiki rw, 8 Xeon cores).
+func (r *Runner) Fig1Cells() []Cell {
+	wl := workload.MediaWikiRW().Name
+	return []Cell{
+		phpCell("xeon", "default", wl, 8),
+		phpCell("xeon", "region", wl, 8),
+	}
+}
+
+// Table3Cells plans Table 3 (every workload on the default allocator).
+func (r *Runner) Table3Cells() []Cell {
+	var out []Cell
+	for _, p := range workload.Profiles() {
+		out = append(out, phpCell("xeon", "default", p.Name, 1))
+	}
+	return out
+}
+
+// Fig5Cells plans Figure 5 (all workloads x all PHP allocators, 8 cores,
+// both platforms).
+func (r *Runner) Fig5Cells() []Cell {
+	var out []Cell
+	for _, plat := range []string{"xeon", "niagara"} {
+		for _, p := range workload.Profiles() {
+			for _, alloc := range PHPAllocators() {
+				out = append(out, phpCell(plat, alloc, p.Name, 8))
+			}
+		}
+	}
+	return out
+}
+
+// Fig6Cells plans Figure 6 (CPU-time breakdown on 8 Xeon cores).
+func (r *Runner) Fig6Cells() []Cell {
+	var out []Cell
+	for _, p := range workload.Profiles() {
+		for _, alloc := range PHPAllocators() {
+			out = append(out, phpCell("xeon", alloc, p.Name, 8))
+		}
+	}
+	return out
+}
+
+// Fig7Cells plans Figure 7 (MediaWiki read-only core-count sweep).
+func (r *Runner) Fig7Cells() []Cell {
+	wl := workload.MediaWikiRO().Name
+	var out []Cell
+	for _, plat := range []string{"xeon", "niagara"} {
+		for _, alloc := range PHPAllocators() {
+			for _, cores := range Fig7Cores {
+				out = append(out, phpCell(plat, alloc, wl, cores))
+			}
+		}
+	}
+	return out
+}
+
+// Table4Cells plans Table 4 (1- and 8-core cells for every workload,
+// allocator and platform; the default-allocator baselines are among them).
+func (r *Runner) Table4Cells() []Cell {
+	var out []Cell
+	for _, p := range workload.Profiles() {
+		for _, plat := range []string{"xeon", "niagara"} {
+			for _, alloc := range PHPAllocators() {
+				for _, cores := range []int{1, 8} {
+					out = append(out, phpCell(plat, alloc, p.Name, cores))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Fig8Cells plans Figure 8; its event deltas come from the same 8-core
+// matrix as Figure 5, so the plans coincide and RunAll dedups them.
+func (r *Runner) Fig8Cells() []Cell { return r.Fig5Cells() }
+
+// Fig9Cells plans Figure 9 (per-transaction footprints on one Xeon core).
+func (r *Runner) Fig9Cells() []Cell {
+	var out []Cell
+	for _, p := range workload.Profiles() {
+		for _, alloc := range PHPAllocators() {
+			out = append(out, phpCell("xeon", alloc, p.Name, 1))
+		}
+	}
+	return out
+}
+
+// Fig10Cells plans Figure 10 (Rails allocator comparison at the paper's
+// restart period, adjusted for the configured scale).
+func (r *Runner) Fig10Cells() []Cell {
+	restart := r.rubyRestart(rubyRestartEvery)
+	var out []Cell
+	for _, alloc := range RubyAllocators() {
+		out = append(out, rubyCell(alloc, restart))
+	}
+	return out
+}
+
+// Fig11Cells plans Figure 11, which breaks down the same Rails cells as
+// Figure 10.
+func (r *Runner) Fig11Cells() []Cell { return r.Fig10Cells() }
+
+// Fig12Cells plans Figure 12 (restart-period sweep for glibc and DDmalloc,
+// including the no-restart baselines).
+func (r *Runner) Fig12Cells() []Cell {
+	var out []Cell
+	for _, alloc := range []string{"glibc", "ddmalloc"} {
+		out = append(out, rubyCell(alloc, 0))
+		for _, period := range Fig12Periods {
+			out = append(out, rubyCell(alloc, r.rubyRestart(period)))
+		}
+	}
+	return out
+}
+
+// CellsFor returns the cell plan of the named experiment ("fig5",
+// "table4", ..., or "all" for the union), or nil for experiments that
+// simulate nothing (table2) and unknown names.
+func (r *Runner) CellsFor(name string) []Cell {
+	switch name {
+	case "fig1":
+		return r.Fig1Cells()
+	case "table3":
+		return r.Table3Cells()
+	case "fig5":
+		return r.Fig5Cells()
+	case "fig6":
+		return r.Fig6Cells()
+	case "fig7":
+		return r.Fig7Cells()
+	case "table4":
+		return r.Table4Cells()
+	case "fig8":
+		return r.Fig8Cells()
+	case "fig9":
+		return r.Fig9Cells()
+	case "fig10":
+		return r.Fig10Cells()
+	case "fig11":
+		return r.Fig11Cells()
+	case "fig12":
+		return r.Fig12Cells()
+	case "all":
+		var out []Cell
+		for _, n := range []string{"fig1", "table3", "fig5", "fig6", "fig7",
+			"table4", "fig8", "fig9", "fig10", "fig11", "fig12"} {
+			out = append(out, r.CellsFor(n)...)
+		}
+		return out
+	}
+	return nil
+}

@@ -8,6 +8,8 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"webmm/internal/apprt"
 	"webmm/internal/heap"
@@ -94,16 +96,39 @@ type CellResult struct {
 	TxnsPerStream float64
 }
 
-// Runner memoizes cell results for a fixed Config.
+// Runner memoizes cell results for a fixed Config. It is safe for
+// concurrent use: racing Run calls for the same cell collapse into a single
+// simulation (singleflight), so figures that share cells (e.g. Figure 5 and
+// Table 4) never double-simulate even when fanned out in parallel.
 type Runner struct {
-	Cfg   Config
-	cells map[Cell]CellResult
+	Cfg Config
+	// Cache, when non-nil, persists cell results on disk so repeated
+	// process runs skip already-simulated cells. Set before the first
+	// Run.
+	Cache *CellCache
+
+	mu       sync.Mutex
+	cells    map[Cell]CellResult
+	inflight map[Cell]*inflightCell
+}
+
+// inflightCell tracks one in-progress simulation so racing callers wait for
+// the leader's result instead of simulating the cell again. res is written
+// once by the leader before done is closed; the close is the
+// happens-before edge that publishes it to waiters.
+type inflightCell struct {
+	done chan struct{}
+	res  CellResult
 }
 
 // NewRunner returns a Runner for cfg.
 func NewRunner(cfg Config) *Runner {
 	cfg.validate()
-	return &Runner{Cfg: cfg, cells: make(map[Cell]CellResult)}
+	return &Runner{
+		Cfg:      cfg,
+		cells:    make(map[Cell]CellResult),
+		inflight: make(map[Cell]*inflightCell),
+	}
 }
 
 // footprinter lets the runner sample per-transaction footprints from either
@@ -114,11 +139,88 @@ type footprinter interface {
 	ResetFootprint()
 }
 
-// Run simulates (or returns the memoized result of) one cell.
+// Run simulates (or returns the memoized result of) one cell. Concurrent
+// calls are safe; concurrent calls for the same cell run one simulation.
 func (r *Runner) Run(c Cell) CellResult {
+	r.mu.Lock()
 	if got, ok := r.cells[c]; ok {
+		r.mu.Unlock()
 		return got
 	}
+	if fl, ok := r.inflight[c]; ok {
+		r.mu.Unlock()
+		<-fl.done
+		return fl.res
+	}
+	fl := &inflightCell{done: make(chan struct{})}
+	r.inflight[c] = fl
+	r.mu.Unlock()
+
+	out, cached := r.Cache.load(r.Cfg, c)
+	if !cached {
+		out = r.simulate(c)
+		r.Cache.store(r.Cfg, c, out)
+	}
+
+	fl.res = out
+	r.mu.Lock()
+	r.cells[c] = out
+	delete(r.inflight, c)
+	r.mu.Unlock()
+	close(fl.done)
+	return out
+}
+
+// RunAll simulates every cell of a plan, fanning the distinct cells out
+// over jobs worker goroutines (jobs <= 0 means GOMAXPROCS). Every cell
+// derives all of its randomness from Config.Seed and shares no state with
+// other cells, so the schedule cannot change any number: RunAll is
+// bit-identical to running the same cells serially, and jobs == 1 is
+// exactly the serial loop. Results are returned in input order; duplicate
+// cells share one simulation.
+func (r *Runner) RunAll(cells []Cell, jobs int) []CellResult {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	seen := make(map[Cell]bool, len(cells))
+	var uniq []Cell
+	for _, c := range cells {
+		if !seen[c] {
+			seen[c] = true
+			uniq = append(uniq, c)
+		}
+	}
+	if jobs > len(uniq) {
+		jobs = len(uniq)
+	}
+	if jobs > 1 {
+		work := make(chan Cell)
+		var wg sync.WaitGroup
+		wg.Add(jobs)
+		for w := 0; w < jobs; w++ {
+			go func() {
+				defer wg.Done()
+				for c := range work {
+					r.Run(c)
+				}
+			}()
+		}
+		for _, c := range uniq {
+			work <- c
+		}
+		close(work)
+		wg.Wait()
+	}
+	out := make([]CellResult, len(cells))
+	for i, c := range cells {
+		out[i] = r.Run(c)
+	}
+	return out
+}
+
+// simulate runs one cell from scratch. It touches no Runner state beyond
+// the (immutable) Cfg, which is what makes parallel fan-out safe.
+func (r *Runner) simulate(c Cell) CellResult {
 	plat, err := machine.PlatformByName(c.Platform)
 	if err != nil {
 		panic(err)
@@ -204,7 +306,6 @@ func (r *Runner) Run(c Cell) CellResult {
 	out.Footprint = fpSum / float64(len(fps))
 	out.Calls = calls
 	out.TxnsPerStream = float64(res.Txns) / float64(len(fps))
-	r.cells[c] = out
 	return out
 }
 

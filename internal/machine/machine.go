@@ -62,6 +62,18 @@ type Machine struct {
 	quantum int
 
 	measuring bool
+
+	// cursors and done are scratch reused across priceRound and Run
+	// calls, keeping the per-round pricing path allocation-free (a full
+	// experiment prices tens of thousands of rounds).
+	cursors []evCursor
+	done    []bool
+}
+
+// evCursor walks one stream's buffered events during priceRound.
+type evCursor struct {
+	ev  []sim.Event
+	pos int
 }
 
 // streamSpan is the address-space span reserved per stream (per process).
@@ -102,6 +114,8 @@ func New(p Platform, nCores int, allocCode, appCode uint64, seed uint64) *Machin
 		}
 		m.l2s = append(m.l2s, s)
 	}
+	m.cursors = make([]evCursor, len(m.streams))
+	m.done = make([]bool, len(m.streams))
 	return m
 }
 
@@ -141,7 +155,7 @@ func (m *Machine) Run(drivers []Driver, warmup, measure int) {
 	if len(drivers) != len(m.streams) {
 		panic(fmt.Sprintf("machine: %d drivers for %d streams", len(drivers), len(m.streams)))
 	}
-	done := make([]bool, len(drivers))
+	done := m.done
 	for round := 0; round < warmup+measure; round++ {
 		m.measuring = round >= warmup
 		for i := range done {
@@ -170,14 +184,10 @@ func (m *Machine) Run(drivers []Driver, warmup, measure int) {
 // fixed quanta so that concurrent cache sharing and bus pressure are
 // represented, then drains every Env.
 func (m *Machine) priceRound() {
-	type cursor struct {
-		ev  []sim.Event
-		pos int
-	}
-	cursors := make([]cursor, len(m.streams))
+	cursors := m.cursors
 	remaining := 0
 	for i, s := range m.streams {
-		cursors[i] = cursor{ev: s.Env.Events()}
+		cursors[i] = evCursor{ev: s.Env.Events()}
 		if len(cursors[i].ev) > 0 {
 			remaining++
 		}
@@ -210,9 +220,13 @@ func (m *Machine) priceRound() {
 	}
 }
 
-// price routes one event through the stream's cache hierarchy.
+// price routes one event through the stream's cache hierarchy. The core and
+// L2-cluster lookups are hoisted out of the per-line loops: an event can
+// touch many lines (large copies, long fetch runs) and this is the hottest
+// function in the simulator.
 func (m *Machine) price(s *Stream, ev sim.Event) {
 	core := m.cores[s.Core]
+	l2 := m.l2ForCore(s.Core)
 	ctr := &s.counters[ev.Class]
 	meas := m.measuring
 
@@ -220,12 +234,13 @@ func (m *Machine) price(s *Stream, ev sim.Event) {
 	nLines := mem.LinesTouched(ev.Addr, uint64(ev.Size))
 
 	if ev.Kind == sim.IFetch {
+		l1i := core.l1i
 		for l := uint64(0); l < nLines; l++ {
 			line := first + l
 			if meas {
 				ctr.L1IAcc++
 			}
-			hit, _, victim := core.l1i.Access(line, false)
+			hit, _, victim := l1i.Access(line, false)
 			if hit {
 				continue
 			}
@@ -233,7 +248,7 @@ func (m *Machine) price(s *Stream, ev sim.Event) {
 				ctr.L1IMiss++
 			}
 			_ = victim // instruction lines are never dirty
-			m.l2Access(s, ctr, line, false, true, meas)
+			m.l2Access(l2, ctr, line, false, true, meas)
 		}
 		return
 	}
@@ -246,12 +261,13 @@ func (m *Machine) price(s *Stream, ev sim.Event) {
 	}
 
 	write := ev.Kind == sim.Write
+	l1d := core.l1d
 	for l := uint64(0); l < nLines; l++ {
 		line := first + l
 		if meas {
 			ctr.L1DAcc++
 		}
-		hit, _, victim := core.l1d.Access(line, write)
+		hit, _, victim := l1d.Access(line, write)
 		if hit {
 			continue
 		}
@@ -260,12 +276,12 @@ func (m *Machine) price(s *Stream, ev sim.Event) {
 		}
 		if victim.Valid && victim.Dirty {
 			// Dirty L1 eviction drains into the L2.
-			wbVictim := m.l2ForCore(s.Core).c.WriteBack(victim.Line)
+			wbVictim := l2.c.WriteBack(victim.Line)
 			if wbVictim.Valid && wbVictim.Dirty && meas {
 				ctr.BusWrite++
 			}
 		}
-		m.l2Access(s, ctr, line, write, false, meas)
+		m.l2Access(l2, ctr, line, write, false, meas)
 	}
 }
 
@@ -274,9 +290,9 @@ func (m *Machine) l2ForCore(coreID int) *l2State {
 }
 
 // l2Access performs the shared-L2 lookup and, on a miss, the memory fetch,
-// prefetcher consultation and writeback accounting.
-func (m *Machine) l2Access(s *Stream, ctr *cpu.Counters, line uint64, write, ifetch, meas bool) {
-	l2 := m.l2ForCore(s.Core)
+// prefetcher consultation and writeback accounting. The caller resolves the
+// stream's L2 cluster once per event rather than once per line.
+func (m *Machine) l2Access(l2 *l2State, ctr *cpu.Counters, line uint64, write, ifetch, meas bool) {
 	hit, wasPrefetched, victim := l2.c.Access(line, write)
 	if hit {
 		if meas {

@@ -115,15 +115,33 @@ func (e *Env) Instr(n uint64, c Class) {
 		nlines = maxFetchLines
 	}
 	base := e.code.base[c]
-	for i := uint64(0); i < nlines; i++ {
-		line := (start + i) % lines
-		e.events = append(e.events, Event{
+	// Extend the buffer once and fill in place: one capacity check per
+	// fetch run instead of one per line, in the simulator's most frequent
+	// event-emission path.
+	evs := e.grow(int(nlines))
+	for i := range evs {
+		line := (start + uint64(i)) % lines
+		evs[i] = Event{
 			Addr:  base + mem.Addr(line*mem.LineSize),
 			Size:  mem.LineSize,
 			Kind:  IFetch,
 			Class: c,
-		})
+		}
 	}
+}
+
+// grow extends the event buffer by n entries and returns the new tail for
+// the caller to fill. The buffer's capacity survives Drain, so after the
+// first few rounds of a run this never allocates.
+func (e *Env) grow(n int) []Event {
+	l := len(e.events)
+	if l+n > cap(e.events) {
+		grown := make([]Event, l, 2*cap(e.events)+n)
+		copy(grown, e.events)
+		e.events = grown
+	}
+	e.events = e.events[:l+n]
+	return e.events[l:]
 }
 
 // Instructions returns the per-class retired-instruction counters since the
@@ -135,7 +153,8 @@ func (e *Env) Instructions() [NumClasses]uint64 { return e.instr }
 func (e *Env) Events() []Event { return e.events }
 
 // Drain resets the event buffer and instruction counters, returning the
-// counters that were accumulated.
+// counters that were accumulated. The buffer's backing array is retained, so
+// an Env reaches a steady state where event emission never allocates.
 func (e *Env) Drain() (instr [NumClasses]uint64) {
 	instr = e.instr
 	e.instr = [NumClasses]uint64{}
