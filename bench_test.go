@@ -110,6 +110,21 @@ func BenchmarkRunnerParallel(b *testing.B) {
 // ---------------------------------------------------------------------------
 // Figure 1: normalized CPU time per transaction, default vs region.
 
+// BenchmarkFig1Cell simulates exactly one Figure 1 cell (MediaWiki
+// read/write, default allocator, 8 Xeon cores) from a cold runner. This is
+// the single-cell hot-path benchmark: ns/op here is the wall time every
+// experiment pays per cell, dominated by Machine.price and Cache.Access.
+func BenchmarkFig1Cell(b *testing.B) {
+	wl := workload.MediaWikiRW().Name
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		cr := r.Run(experiments.Cell{
+			Platform: "xeon", Alloc: "default", Workload: wl, Cores: 8,
+		})
+		b.ReportMetric(cr.Res.Throughput, "tps")
+	}
+}
+
 func BenchmarkFig1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()

@@ -8,6 +8,7 @@
 //	webmm -exp table4 -jobs 8      # fan the cell matrix out over 8 workers
 //	webmm -exp all -cellcache .webmm-cache   # persist cells across runs
 //	webmm -exp cell -platform xeon -alloc ddmalloc -workload 'MediaWiki(ro)' -cores 8
+//	webmm -exp fig1 -cpuprofile cpu.pprof    # profile the simulator hot path
 //
 // Experiments: fig1 table2 table3 fig5 fig6 fig7 table4 fig8 fig9 fig10
 // fig11 fig12 all cell.
@@ -25,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"webmm/internal/experiments"
@@ -47,8 +49,36 @@ func main() {
 		alloc    = flag.String("alloc", "ddmalloc", "cell: allocator")
 		wl       = flag.String("workload", "MediaWiki(ro)", "cell: workload name")
 		cores    = flag.Int("cores", 8, "cell: active cores")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "webmm:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "webmm:", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "webmm:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			_ = pprof.Lookup("allocs").WriteTo(f, 0)
+		}()
+	}
 
 	cfg := experiments.Config{
 		Scale: *scale, Warmup: *warmup, Measure: *measure,

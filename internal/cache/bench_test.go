@@ -1,0 +1,63 @@
+package cache
+
+import (
+	"testing"
+
+	"webmm/internal/mem"
+)
+
+// benchLines builds a deterministic access stream with the locality shape the
+// simulator produces: long sequential runs (fetch runs, large copies)
+// interleaved with re-touches of a small hot set, plus an occasional cold
+// line. The mix keeps the hit rate high — the regime way prediction targets —
+// without being a pure single-line loop.
+func benchLines(n int) []uint64 {
+	lines := make([]uint64, 0, n)
+	const hot = 64
+	cold := uint64(1 << 20)
+	for len(lines) < n {
+		base := uint64(1024 + (len(lines)%hot)*7)
+		for r := uint64(0); r < 8; r++ { // sequential run
+			lines = append(lines, base+r)
+		}
+		lines = append(lines, base) // immediate re-touch (MRU hit)
+		if len(lines)%97 == 0 {     // occasional cold miss
+			cold += 513
+			lines = append(lines, cold)
+		}
+	}
+	return lines[:n]
+}
+
+// BenchmarkCacheAccess measures the demand-access path of the
+// set-associative cache model, the innermost call of Machine.price.
+func BenchmarkCacheAccess(b *testing.B) {
+	for _, cfg := range []Config{
+		{Name: "L1D", Size: 32 * mem.KiB, Ways: 8},
+		{Name: "L2", Size: 4 * mem.MiB, Ways: 16},
+	} {
+		b.Run(cfg.Name, func(b *testing.B) {
+			c := New(cfg)
+			lines := benchLines(8192)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Access(lines[i%len(lines)], i%4 == 0)
+			}
+			b.ReportMetric(float64(c.Hits)/float64(c.Hits+c.Misses), "hit_rate")
+		})
+	}
+}
+
+// BenchmarkCacheContains measures the read-only residency probe used by the
+// coherence paths.
+func BenchmarkCacheContains(b *testing.B) {
+	c := New(Config{Name: "L2", Size: 4 * mem.MiB, Ways: 16})
+	lines := benchLines(8192)
+	for _, l := range lines {
+		c.Access(l, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Contains(lines[i%len(lines)])
+	}
+}

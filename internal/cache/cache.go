@@ -11,6 +11,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"webmm/internal/mem"
 )
@@ -44,16 +45,35 @@ func (c Config) Sets() int {
 // Cache is a set-associative, write-back, write-allocate cache with LRU
 // replacement. Tags are full line numbers, so distinct simulated addresses
 // never alias.
+//
+// Replacement state is a packed recency permutation, not timestamps: each
+// set keeps one 64-bit word holding its way indices as nibbles ordered
+// most- to least-recently used. A hit moves its way to the front of the
+// word; a full set's victim is read off the tail nibble. Because LRU
+// timestamps within a set are strictly monotonic and distinct, the
+// permutation carries exactly the same information — the victim choice is
+// bit-identical to a stamp scan — while costing one word of state per set
+// (the whole order table for a 4 MiB L2 fits in 32 KiB) instead of a
+// per-way stamp array that a victim scan must walk. It also removes the
+// access-counter wraparound hazard outright: a 32-bit tick wraps after 4 G
+// accesses — a paper-scale cell prices more — silently inverting LRU order
+// mid-run, and a permutation has no counter to wrap.
+//
+// Lookups probe the set's most-recently-hit way before scanning: the probe
+// only changes *search order*, never which way matches or which way LRU
+// evicts.
 type Cache struct {
-	cfg     Config
-	sets    int
-	ways    int
-	setMask uint64
+	cfg      Config
+	sets     int
+	ways     int
+	setMask  uint64
+	lruShift uint // (ways-1)*4: tail-nibble position in an order word
 
 	tags  []uint64 // sets*ways; 0 means invalid (line 0 is never used)
-	stamp []uint32 // LRU stamps
 	flags []uint8  // bit 0 dirty, bit 1 prefetched-not-yet-used
-	tick  uint32
+	order []uint64 // per-set recency permutation, MRU nibble lowest
+	mru   []uint8  // per-set way of the last hit or install (prediction only)
+	fill  []uint16 // per-set count of valid ways; ways == full
 
 	// Counters are cumulative for the life of the cache (Reset clears).
 	Hits, Misses       uint64
@@ -65,21 +85,48 @@ type Cache struct {
 const (
 	flagDirty      = 1 << 0
 	flagPrefetched = 1 << 1
+
+	// identityOrder packs way indices 15..0 as nibbles: the initial
+	// recency permutation. Ways the cache doesn't have sit inert in the
+	// high nibbles and are never promoted past a real way.
+	identityOrder = 0xFEDCBA9876543210
 )
+
+// promote moves way w to the MRU front of a packed recency word: the nibble
+// holding w is located with a SWAR zero-nibble scan (order is a permutation,
+// so exactly one nibble matches), the nibbles below it shift up one
+// position, and w lands in nibble 0. Branch-free.
+func promote(order uint64, w int) uint64 {
+	x := order ^ (uint64(w) * 0x1111111111111111)
+	m := (x - 0x1111111111111111) & ^x & 0x8888888888888888
+	shift := uint(bits.TrailingZeros64(m)) &^ 3 // 4 * nibble position of w
+	low := order & (uint64(1)<<shift - 1)
+	return order&^(uint64(1)<<(shift+4)-1) | low<<4 | uint64(w)
+}
 
 // New builds a cache from cfg.
 func New(cfg Config) *Cache {
 	sets := cfg.Sets()
-	n := sets * cfg.Ways
-	return &Cache{
-		cfg:     cfg,
-		sets:    sets,
-		ways:    cfg.Ways,
-		setMask: uint64(sets - 1),
-		tags:    make([]uint64, n),
-		stamp:   make([]uint32, n),
-		flags:   make([]uint8, n),
+	if cfg.Ways > 16 {
+		panic(fmt.Sprintf("cache %s: %d ways overflow the packed recency word", cfg.Name, cfg.Ways))
 	}
+	n := sets * cfg.Ways
+	c := &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		ways:     cfg.Ways,
+		setMask:  uint64(sets - 1),
+		lruShift: uint(cfg.Ways-1) * 4,
+		tags:     make([]uint64, n),
+		flags:    make([]uint8, n),
+		order:    make([]uint64, sets),
+		mru:      make([]uint8, sets),
+		fill:     make([]uint16, sets),
+	}
+	for i := range c.order {
+		c.order[i] = identityOrder
+	}
+	return c
 }
 
 // Config returns the cache's configuration.
@@ -90,27 +137,43 @@ func (c *Cache) Config() Config { return c.cfg }
 // in by the prefetcher and not yet used (the "prefetch hid this miss" case),
 // and the victim evicted to make room on a miss.
 func (c *Cache) Access(line uint64, write bool) (hit, prefetched bool, victim Victim) {
-	set := int(line&c.setMask) * c.ways
-	c.tick++
-	for w := 0; w < c.ways; w++ {
-		i := set + w
-		if c.tags[i] == line {
-			c.Hits++
-			c.stamp[i] = c.tick
-			if write {
-				c.flags[i] |= flagDirty
+	sn := int(line & c.setMask)
+	base := sn * c.ways
+	tags := c.tags[base : base+c.ways]
+	w := int(c.mru[sn])
+	if !(w < len(tags) && tags[w] == line) {
+		w = -1
+		for x := range tags {
+			if tags[x] == line {
+				w = x
+				c.mru[sn] = uint8(x)
+				break
 			}
-			if c.flags[i]&flagPrefetched != 0 {
-				c.flags[i] &^= flagPrefetched
-				c.PrefetchUsefulHits++
-				return true, true, Victim{}
-			}
-			return true, false, Victim{}
+		}
+		if w < 0 {
+			c.Misses++
+			victim = c.install(sn, base, line, write, false)
+			return false, false, victim
 		}
 	}
-	c.Misses++
-	victim = c.install(set, line, write, false)
-	return false, false, victim
+	c.Hits++
+	// Promoting the way that is already at the front is the identity;
+	// skipping it makes the repeat-hit path one compare.
+	if ord := c.order[sn]; ord&0xF != uint64(w) {
+		c.order[sn] = promote(ord, w)
+	}
+	i := base + w
+	fl := c.flags[i]
+	if write {
+		fl |= flagDirty
+		c.flags[i] = fl
+	}
+	if fl&flagPrefetched != 0 {
+		c.flags[i] = fl &^ flagPrefetched
+		c.PrefetchUsefulHits++
+		return true, true, Victim{}
+	}
+	return true, false, Victim{}
 }
 
 // Install brings line into the cache without counting a demand access; the
@@ -118,44 +181,59 @@ func (c *Cache) Access(line uint64, write bool) (hit, prefetched bool, victim Vi
 // (false if already resident — no bus transfer happens then) and the victim
 // evicted to make room.
 func (c *Cache) Install(line uint64, prefetch bool) (installed bool, victim Victim) {
-	set := int(line&c.setMask) * c.ways
-	for w := 0; w < c.ways; w++ {
-		if c.tags[set+w] == line {
+	sn := int(line & c.setMask)
+	base := sn * c.ways
+	tags := c.tags[base : base+c.ways]
+	if w := int(c.mru[sn]); w < len(tags) && tags[w] == line {
+		return false, Victim{}
+	}
+	for w := range tags {
+		if tags[w] == line {
 			return false, Victim{}
 		}
 	}
 	if prefetch {
 		c.PrefetchInstalls++
 	}
-	return true, c.install(set, line, false, prefetch)
+	return true, c.install(sn, base, line, false, prefetch)
 }
 
-func (c *Cache) install(set int, line uint64, write, prefetch bool) Victim {
-	c.tick++
-	oldest := set
-	for w := 1; w < c.ways; w++ {
-		i := set + w
-		if c.tags[i] == 0 {
-			oldest = i
-			break
-		}
-		if c.stamp[i] < c.stamp[oldest] {
-			oldest = i
-		}
-	}
+// install picks the set's LRU victim, evicts it, and installs line as the
+// set's most recent. base is sn*ways. Once a set has filled — the steady
+// state for every set after warmup — the victim is simply the tail nibble
+// of the set's recency word: no scan at all. While the set is still
+// filling, the first invalid way at index >= 1 wins, else way 0 (which must
+// then be the invalid one) — the same choice the original stamp scan made,
+// since untouched ways carried stamp 0 and could never lose a
+// strictly-less comparison.
+func (c *Cache) install(sn, base int, line uint64, write, prefetch bool) Victim {
+	ord := c.order[sn]
+	var oldest int
 	var victim Victim
-	if c.tags[oldest] != 0 {
+	if int(c.fill[sn]) == c.ways {
+		oldest = int(ord >> c.lruShift & 0xF)
+		i := base + oldest
 		victim = Victim{
-			Line:  c.tags[oldest],
-			Dirty: c.flags[oldest]&flagDirty != 0,
+			Line:  c.tags[i],
+			Dirty: c.flags[i]&flagDirty != 0,
 			Valid: true,
 		}
 		if victim.Dirty {
 			c.Writebacks++
 		}
+	} else {
+		tags := c.tags[base : base+c.ways]
+		for w := 1; w < len(tags); w++ {
+			if tags[w] == 0 {
+				oldest = w
+				break
+			}
+		}
+		c.fill[sn]++
 	}
-	c.tags[oldest] = line
-	c.stamp[oldest] = c.tick
+	i := base + oldest
+	c.tags[i] = line
+	c.order[sn] = promote(ord, oldest)
 	var f uint8
 	if write {
 		f |= flagDirty
@@ -163,46 +241,63 @@ func (c *Cache) install(set int, line uint64, write, prefetch bool) Victim {
 	if prefetch {
 		f |= flagPrefetched
 	}
-	c.flags[oldest] = f
+	c.flags[i] = f
+	c.mru[sn] = uint8(oldest)
 	return victim
 }
 
 // WriteBack absorbs a dirty line evicted from an upper-level cache: if the
 // line is resident it is marked dirty; otherwise it is installed dirty. The
 // returned victim may itself be dirty, propagating the writeback downward.
-// WriteBack does not count as a demand hit or miss.
+// WriteBack does not count as a demand hit or miss, and a writeback hit does
+// not refresh the line's recency.
 func (c *Cache) WriteBack(line uint64) Victim {
-	set := int(line&c.setMask) * c.ways
-	for w := 0; w < c.ways; w++ {
-		i := set + w
-		if c.tags[i] == line {
-			c.flags[i] |= flagDirty
+	sn := int(line & c.setMask)
+	base := sn * c.ways
+	tags := c.tags[base : base+c.ways]
+	if w := int(c.mru[sn]); w < len(tags) && tags[w] == line {
+		c.flags[base+w] |= flagDirty
+		return Victim{}
+	}
+	for w := range tags {
+		if tags[w] == line {
+			c.mru[sn] = uint8(w)
+			c.flags[base+w] |= flagDirty
 			return Victim{}
 		}
 	}
-	return c.install(set, line, true, false)
+	return c.install(sn, base, line, true, false)
 }
 
 // Contains reports whether line is resident (no state change).
 func (c *Cache) Contains(line uint64) bool {
-	set := int(line&c.setMask) * c.ways
-	for w := 0; w < c.ways; w++ {
-		if c.tags[set+w] == line {
+	sn := int(line & c.setMask)
+	base := sn * c.ways
+	tags := c.tags[base : base+c.ways]
+	if w := int(c.mru[sn]); w < len(tags) && tags[w] == line {
+		return true
+	}
+	for _, t := range tags {
+		if t == line {
 			return true
 		}
 	}
 	return false
 }
 
-// Invalidate drops line if resident, returning whether it was dirty.
+// Invalidate drops line if resident, returning whether it was dirty. The
+// way keeps its slot in the recency permutation; because the set is no
+// longer full, the next install re-fills it via the invalid-way scan.
 func (c *Cache) Invalidate(line uint64) (wasDirty bool) {
-	set := int(line&c.setMask) * c.ways
+	sn := int(line & c.setMask)
+	set := sn * c.ways
 	for w := 0; w < c.ways; w++ {
 		i := set + w
 		if c.tags[i] == line {
 			wasDirty = c.flags[i]&flagDirty != 0
 			c.tags[i] = 0
 			c.flags[i] = 0
+			c.fill[sn]--
 			return wasDirty
 		}
 	}
@@ -213,10 +308,13 @@ func (c *Cache) Invalidate(line uint64) (wasDirty bool) {
 func (c *Cache) Reset() {
 	for i := range c.tags {
 		c.tags[i] = 0
-		c.stamp[i] = 0
 		c.flags[i] = 0
 	}
-	c.tick = 0
+	for i := range c.order {
+		c.order[i] = identityOrder
+		c.mru[i] = 0
+		c.fill[i] = 0
+	}
 	c.Hits, c.Misses, c.Writebacks = 0, 0, 0
 	c.PrefetchInstalls, c.PrefetchUsefulHits = 0, 0
 }

@@ -1,5 +1,7 @@
 package cache
 
+import "fmt"
+
 // Prefetcher models the hardware stream prefetcher of the Xeon (Clovertown)
 // memory subsystem. Niagara has none, which the paper identifies as the
 // reason the region allocator's bus-transaction increase is so much larger
@@ -10,38 +12,56 @@ package cache
 // The model detects ascending unit-stride miss streams within a page-like
 // window and, once a stream is confirmed, prefetches Depth lines ahead of
 // each miss.
+//
+// Tracker replacement uses the same packed recency permutation as the
+// caches (see Cache): trackers are totally ordered by last use, so one
+// nibble-packed word replaces a per-tracker timestamp and its eviction
+// scan, and there is no clock to wrap.
 type Prefetcher struct {
 	// Depth is how many lines are fetched ahead once a stream locks on.
 	Depth int
 
 	streams []stream
-	clock   uint32
+	order   uint64 // recency permutation of tracker indices, MRU nibble lowest
+	fill    int    // trackers in use; == len(streams) once warm
+
+	// out is the scratch slice OnMiss returns, reused across calls so a
+	// confirmed stream costs no allocation per miss.
+	out []uint64
 
 	// Issued counts lines the prefetcher asked to fetch.
 	Issued uint64
 }
 
+// stream is one tracker.
 type stream struct {
 	nextLine uint64
 	conf     uint8
-	lastUse  uint32
 	valid    bool
 }
 
 // NewPrefetcher returns a prefetcher with the given number of concurrent
 // stream trackers and prefetch depth.
 func NewPrefetcher(trackers, depth int) *Prefetcher {
-	return &Prefetcher{Depth: depth, streams: make([]stream, trackers)}
+	if trackers > 16 {
+		panic(fmt.Sprintf("prefetcher: %d trackers overflow the packed recency word", trackers))
+	}
+	return &Prefetcher{
+		Depth:   depth,
+		streams: make([]stream, trackers),
+		order:   identityOrder,
+		out:     make([]uint64, 0, depth),
+	}
 }
 
 // OnMiss observes a demand miss on line and returns the lines to prefetch
 // (possibly none). Detection requires two consecutive misses on adjacent
-// ascending lines.
+// ascending lines. The returned slice is owned by the Prefetcher and only
+// valid until the next OnMiss call.
 func (p *Prefetcher) OnMiss(line uint64) []uint64 {
 	if p == nil {
 		return nil
 	}
-	p.clock++
 	// Try to match an existing stream.
 	for i := range p.streams {
 		s := &p.streams[i]
@@ -51,16 +71,17 @@ func (p *Prefetcher) OnMiss(line uint64) []uint64 {
 		// Allow the demand stream to be at, or slightly past, the
 		// predicted next line (the core can outrun the tracker).
 		if line >= s.nextLine && line < s.nextLine+4 {
-			s.lastUse = p.clock
+			p.order = promote(p.order, i)
 			s.nextLine = line + 1
 			if s.conf < 4 {
 				s.conf++
 			}
 			if s.conf >= 2 {
-				out := make([]uint64, 0, p.Depth)
+				out := p.out[:0]
 				for d := 1; d <= p.Depth; d++ {
 					out = append(out, line+uint64(d))
 				}
+				p.out = out
 				p.Issued += uint64(len(out))
 				s.nextLine = line + 1
 				return out
@@ -68,18 +89,25 @@ func (p *Prefetcher) OnMiss(line uint64) []uint64 {
 			return nil
 		}
 	}
-	// Allocate a new tracker for this potential stream, evicting the LRU.
+	// Allocate a new tracker for this potential stream. While trackers
+	// remain free the first invalid index wins, as the original scan's
+	// valid check chose; once warm the victim is the recency tail —
+	// exactly the least-recently-used tracker the timestamp scan picked,
+	// since per-tracker last-use times are distinct.
 	victim := 0
-	for i := range p.streams {
-		if !p.streams[i].valid {
-			victim = i
-			break
+	if p.fill == len(p.streams) {
+		victim = int(p.order >> (uint(len(p.streams)-1) * 4) & 0xF)
+	} else {
+		for i := range p.streams {
+			if !p.streams[i].valid {
+				victim = i
+				break
+			}
 		}
-		if p.streams[i].lastUse < p.streams[victim].lastUse {
-			victim = i
-		}
+		p.fill++
 	}
-	p.streams[victim] = stream{nextLine: line + 1, conf: 1, lastUse: p.clock, valid: true}
+	p.streams[victim] = stream{nextLine: line + 1, conf: 1, valid: true}
+	p.order = promote(p.order, victim)
 	return nil
 }
 
@@ -91,6 +119,7 @@ func (p *Prefetcher) Reset() {
 	for i := range p.streams {
 		p.streams[i] = stream{}
 	}
-	p.clock = 0
+	p.order = identityOrder
+	p.fill = 0
 	p.Issued = 0
 }

@@ -7,22 +7,40 @@ package cache
 // keyed by (page number, page shift) so 4 KiB and large pages coexist; a
 // large page covers 512-1024x the address range of a small one, which is the
 // entire mechanism behind the optimization.
+//
+// Recency is an intrusive move-to-front list threaded through prev/next
+// index arrays around a sentinel, not a timestamp per entry: the LRU victim
+// is the list tail, read in O(1), and there is no access counter to wrap
+// (a 32-bit tick wraps inside a paper-scale cell and would silently invert
+// LRU order). Entry stamps are strictly monotonic and distinct, so the list
+// order carries exactly the information the stamps did — hit/miss outcomes
+// and victim choices are bit-identical to a stamp scan.
+//
+// Lookups walk the list from the MRU end: a key match is unique, so search
+// order cannot change outcomes, and recency order finds the hot pages of a
+// temporally-local access stream in a handful of steps instead of scanning
+// half the entries.
 type TLB struct {
 	entries int
-	keys    []uint64
-	stamp   []uint32
-	tick    uint32
+	keys    []uint64 // entries+1; index entries is the sentinel (key 0)
+	prev    []uint16
+	next    []uint16
+	fill    int // entries holding a key; == entries once warm
 
 	Hits, Misses uint64
 }
 
 // NewTLB returns a TLB with the given number of entries.
 func NewTLB(entries int) *TLB {
-	return &TLB{
+	t := &TLB{
 		entries: entries,
-		keys:    make([]uint64, entries),
-		stamp:   make([]uint32, entries),
+		keys:    make([]uint64, entries+1),
+		prev:    make([]uint16, entries+1),
+		next:    make([]uint16, entries+1),
 	}
+	s := uint16(entries)
+	t.prev[s], t.next[s] = s, s
+	return t
 }
 
 // Key builds the lookup key for an address with the given page shift.
@@ -31,31 +49,49 @@ func Key(addr uint64, pageShift uint8) uint64 {
 	return (addr>>pageShift)<<6 | uint64(pageShift)
 }
 
+// moveToFront unlinks entry i and reinserts it behind the sentinel.
+func (t *TLB) moveToFront(i uint16) {
+	p, n := t.prev[i], t.next[i]
+	t.next[p], t.prev[n] = n, p
+	s := uint16(t.entries)
+	h := t.next[s]
+	t.next[s], t.prev[i] = i, s
+	t.next[i], t.prev[h] = h, i
+}
+
 // Access looks up key, filling the TLB on a miss, and reports a hit.
 func (t *TLB) Access(key uint64) bool {
-	t.tick++
-	free, lru := -1, -1
-	for i := 0; i < t.entries; i++ {
-		switch {
-		case t.keys[i] == key:
+	s := uint16(t.entries)
+	keys := t.keys
+	next := t.next
+	h := next[s]
+	if keys[h] == key { // MRU entry; sentinel's key 0 never matches
+		t.Hits++
+		return true
+	}
+	for i := next[h]; i != s; i = next[i] {
+		if keys[i] == key {
 			t.Hits++
-			t.stamp[i] = t.tick
+			t.moveToFront(i)
 			return true
-		case t.keys[i] == 0:
-			if free < 0 {
-				free = i
-			}
-		case lru < 0 || t.stamp[i] < t.stamp[lru]:
-			lru = i
 		}
 	}
 	t.Misses++
-	slot := free
-	if slot < 0 {
-		slot = lru
+	var slot uint16
+	if t.fill == t.entries {
+		slot = t.prev[s] // LRU tail
+		t.moveToFront(slot)
+	} else {
+		// Entries are never invalidated, so free slots are exactly the
+		// indices not yet filled; taking them in index order matches the
+		// first-free-slot choice of the original scan.
+		slot = uint16(t.fill)
+		t.fill++
+		h := next[s]
+		t.next[s], t.prev[slot] = slot, s
+		t.next[slot], t.prev[h] = h, slot
 	}
-	t.keys[slot] = key
-	t.stamp[slot] = t.tick
+	keys[slot] = key
 	return false
 }
 
@@ -63,8 +99,9 @@ func (t *TLB) Access(key uint64) bool {
 func (t *TLB) Reset() {
 	for i := range t.keys {
 		t.keys[i] = 0
-		t.stamp[i] = 0
 	}
-	t.tick = 0
+	s := uint16(t.entries)
+	t.prev[s], t.next[s] = s, s
+	t.fill = 0
 	t.Hits, t.Misses = 0, 0
 }

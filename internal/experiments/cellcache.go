@@ -14,7 +14,16 @@ import (
 // alter any cell's numbers; stale-version files are simply never matched
 // again (their keys differ) and any that are hit anyway fail the embedded
 // version check.
-const cellCacheVersion = 1
+//
+// v2: LRU replacement state became counter-free (packed recency
+// permutations). Outputs are bit-identical at the scales the repo runs —
+// verified against v1 captures — but a paper-scale (scale 1) cell prices
+// enough accesses to wrap v1's 32-bit LRU tick, so v1 entries near that
+// boundary are not trustworthy and must not be reused. The committed
+// fingerprint in testdata/cell_fingerprint.txt is tied to this version;
+// regenerate it (go test ./internal/experiments -run Fingerprint -update)
+// whenever the version bumps.
+const cellCacheVersion = 2
 
 // CellCache persists CellResults on disk so repeated CLI runs skip
 // already-simulated cells. Entries are keyed by a hash of (format version,

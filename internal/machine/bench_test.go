@@ -1,0 +1,36 @@
+package machine
+
+import (
+	"testing"
+
+	"webmm/internal/mem"
+	"webmm/internal/sim"
+)
+
+// BenchmarkMachinePrice measures the event-pricing hot path end to end:
+// every stream of an 8-core Xeon emits a transaction-shaped slice of events
+// (instruction runs, small reads/writes, a large copy) and the machine
+// prices them. ns/op is the cost of one such round across all streams.
+func BenchmarkMachinePrice(b *testing.B) {
+	m := New(Xeon(), 8, 64*mem.KiB, 192*mem.KiB, 1)
+	streams := m.Streams()
+	heaps := make([]mem.Mapping, len(streams))
+	for i, s := range streams {
+		heaps[i] = s.Env.AS.Map(4*mem.MiB, 0, mem.SmallPages)
+	}
+	var events int
+	for i := 0; i < b.N; i++ {
+		for j, s := range streams {
+			base := heaps[j].Base + mem.Addr(uint64(i*392+j*64)%(2*mem.MiB))
+			s.Env.Instr(48, sim.ClassApp)
+			s.Env.Read(base, 48, sim.ClassApp)
+			s.Env.Write(base+64, 24, sim.ClassAlloc)
+			s.Env.Instr(12, sim.ClassAlloc)
+			s.Env.Copy(base+8192, base, 1024, sim.ClassApp)
+			s.Env.Read(base+256*mem.KiB, 8, sim.ClassApp)
+			events += 8 // approx: two fetch runs + 4 data events + copy pair
+		}
+		m.PriceSetup()
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}

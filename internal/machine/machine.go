@@ -28,9 +28,36 @@ type Stream struct {
 	Core int
 	Env  *sim.Env
 
+	// core and l2 are the stream's fixed position in the hierarchy,
+	// resolved once at construction so pricing never re-derives them.
+	core *coreState
+	l2   *l2State
+
 	// counters accumulate measured (post-warmup) events by class.
 	counters [sim.NumClasses]cpu.Counters
 	txns     uint64
+
+	// Page-shift region cache: the last PageShiftRegion answer from the
+	// stream's address space. Consecutive events in the same large
+	// mapping (or the same gap between large mappings) skip the
+	// binary search; LargeEpoch revalidates after any Map/Unmap of a
+	// large mapping.
+	psEpoch uint64
+	psLo    mem.Addr
+	psHi    mem.Addr
+	psShift uint8
+}
+
+// pageShiftOf resolves the page size backing a, serving repeats from the
+// cached region.
+func (s *Stream) pageShiftOf(a mem.Addr) uint8 {
+	as := s.Env.AS
+	if e := as.LargeEpoch(); e == s.psEpoch && s.psLo <= a && a < s.psHi {
+		return s.psShift
+	}
+	shift, lo, hi := as.PageShiftRegion(a)
+	s.psEpoch, s.psLo, s.psHi, s.psShift = as.LargeEpoch(), lo, hi, shift
+	return shift
 }
 
 // coreState holds the per-core private structures (shared by the core's
@@ -113,6 +140,10 @@ func New(p Platform, nCores int, allocCode, appCode uint64, seed uint64) *Machin
 			s.pf = cache.NewPrefetcher(p.Prefetch.Trackers, p.Prefetch.Depth)
 		}
 		m.l2s = append(m.l2s, s)
+	}
+	for _, s := range m.streams {
+		s.core = m.cores[s.Core]
+		s.l2 = m.l2ForCore(s.Core)
 	}
 	m.cursors = make([]evCursor, len(m.streams))
 	m.done = make([]bool, len(m.streams))
@@ -220,13 +251,16 @@ func (m *Machine) priceRound() {
 	}
 }
 
-// price routes one event through the stream's cache hierarchy. The core and
-// L2-cluster lookups are hoisted out of the per-line loops: an event can
-// touch many lines (large copies, long fetch runs) and this is the hottest
-// function in the simulator.
+// price routes one event through the stream's cache hierarchy. This is the
+// hottest function in the simulator: an event can touch many lines (large
+// copies, long fetch runs), so everything that is constant across the run of
+// lines — the stream's core and L2 cluster, the counter pointer, and the
+// measured-counter branches themselves — is resolved or accumulated outside
+// the per-line loop. Misses are tallied into a register and flushed to the
+// counters once per event.
 func (m *Machine) price(s *Stream, ev sim.Event) {
-	core := m.cores[s.Core]
-	l2 := m.l2ForCore(s.Core)
+	core := s.core
+	l2 := s.l2
 	ctr := &s.counters[ev.Class]
 	meas := m.measuring
 
@@ -235,45 +269,40 @@ func (m *Machine) price(s *Stream, ev sim.Event) {
 
 	if ev.Kind == sim.IFetch {
 		l1i := core.l1i
+		var miss uint64
 		for l := uint64(0); l < nLines; l++ {
 			line := first + l
-			if meas {
-				ctr.L1IAcc++
-			}
-			hit, _, victim := l1i.Access(line, false)
+			hit, _, _ := l1i.Access(line, false)
 			if hit {
-				continue
+				continue // instruction lines are never dirty
 			}
-			if meas {
-				ctr.L1IMiss++
-			}
-			_ = victim // instruction lines are never dirty
+			miss++
 			m.l2Access(l2, ctr, line, false, true, meas)
+		}
+		if meas {
+			ctr.L1IAcc += nLines
+			ctr.L1IMiss += miss
 		}
 		return
 	}
 
 	// Data access: one TLB lookup per event (page-crossing objects are
 	// rare and a second lookup would not change the shape of anything).
-	pageShift := s.Env.AS.PageShift(ev.Addr)
+	pageShift := s.pageShiftOf(ev.Addr)
 	if !core.tlb.Access(cache.Key(uint64(ev.Addr), pageShift)) && meas {
 		ctr.TLBMiss++
 	}
 
 	write := ev.Kind == sim.Write
 	l1d := core.l1d
+	var miss uint64
 	for l := uint64(0); l < nLines; l++ {
 		line := first + l
-		if meas {
-			ctr.L1DAcc++
-		}
 		hit, _, victim := l1d.Access(line, write)
 		if hit {
 			continue
 		}
-		if meas {
-			ctr.L1DMiss++
-		}
+		miss++
 		if victim.Valid && victim.Dirty {
 			// Dirty L1 eviction drains into the L2.
 			wbVictim := l2.c.WriteBack(victim.Line)
@@ -282,6 +311,10 @@ func (m *Machine) price(s *Stream, ev sim.Event) {
 			}
 		}
 		m.l2Access(l2, ctr, line, write, false, meas)
+	}
+	if meas {
+		ctr.L1DAcc += nLines
+		ctr.L1DMiss += miss
 	}
 }
 

@@ -88,6 +88,10 @@ type AddressSpace struct {
 	// find the page size of an address with a binary search. Small-page
 	// mappings are not recorded individually: small is the default.
 	large []Mapping
+
+	// largeEpoch counts mutations of the large-mapping list, so callers
+	// that cache a PageShiftRegion answer can tell when it may be stale.
+	largeEpoch uint64
 }
 
 // NewAddressSpace returns an address space serving mappings from
@@ -143,6 +147,7 @@ func (as *AddressSpace) Map(size, align uint64, kind PageKind) Mapping {
 	m := Mapping{Base: base, Size: size, Kind: kind}
 	if kind == LargePages {
 		as.large = append(as.large, m)
+		as.largeEpoch++
 	}
 	return m
 }
@@ -160,6 +165,7 @@ func (as *AddressSpace) Unmap(m Mapping) {
 		for i := range as.large {
 			if as.large[i].Base == m.Base {
 				as.large = append(as.large[:i], as.large[i+1:]...)
+				as.largeEpoch++
 				break
 			}
 		}
@@ -177,6 +183,32 @@ func (as *AddressSpace) PageShift(a Addr) uint8 {
 	}
 	return SmallPageShift
 }
+
+// PageShiftRegion returns the page shift backing a together with the
+// maximal half-open address range [lo, hi) containing a over which that
+// shift is constant: a large mapping's extent, or the gap between two large
+// mappings. Callers cache the triple and revalidate it with LargeEpoch,
+// turning the per-access binary search into a two-comparison range check
+// for consecutive same-region addresses.
+func (as *AddressSpace) PageShiftRegion(a Addr) (shift uint8, lo, hi Addr) {
+	i := sort.Search(len(as.large), func(i int) bool { return as.large[i].End() > a })
+	if i < len(as.large) && as.large[i].Contains(a) {
+		return as.largeShift, as.large[i].Base, as.large[i].End()
+	}
+	lo = 0
+	if i > 0 {
+		lo = as.large[i-1].End()
+	}
+	hi = Addr(^uint64(0))
+	if i < len(as.large) {
+		hi = as.large[i].Base
+	}
+	return SmallPageShift, lo, hi
+}
+
+// LargeEpoch returns a counter that changes whenever the set of large-page
+// mappings changes; see PageShiftRegion.
+func (as *AddressSpace) LargeEpoch() uint64 { return as.largeEpoch }
 
 // LargePageShift returns the platform's large-page shift.
 func (as *AddressSpace) LargePageShift() uint8 { return as.largeShift }

@@ -66,12 +66,22 @@ func NewEnv(as *mem.AddressSpace, code *CodeLayout, seed uint64) *Env {
 
 // Read records a data load of size bytes at a.
 func (e *Env) Read(a mem.Addr, size uint64, c Class) {
-	e.events = append(e.events, Event{Addr: a, Size: uint32(size), Kind: Read, Class: c})
+	e.emit(Event{Addr: a, Size: uint32(size), Kind: Read, Class: c})
 }
 
 // Write records a data store of size bytes at a.
 func (e *Env) Write(a mem.Addr, size uint64, c Class) {
-	e.events = append(e.events, Event{Addr: a, Size: uint32(size), Kind: Write, Class: c})
+	e.emit(Event{Addr: a, Size: uint32(size), Kind: Write, Class: c})
+}
+
+// emit appends one event. Drain retains the buffer's backing array, so once
+// the buffer has grown to a round's high-water mark this append writes in
+// place: steady-state emission is allocation-free (locked in by
+// TestEnvSteadyStateEmissionDoesNotAllocate), and the whole path inlines
+// into Read/Write. Bulk emitters (Instr's fetch runs) go through grow
+// instead, which doubles, so ramp-up reallocation is logarithmic too.
+func (e *Env) emit(ev Event) {
+	e.events = append(e.events, ev)
 }
 
 // Copy records a memcpy of n bytes from src to dst (realloc's copy,
