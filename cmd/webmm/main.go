@@ -9,9 +9,16 @@
 //	webmm -exp all -cellcache .webmm-cache   # persist cells across runs
 //	webmm -exp cell -platform xeon -alloc ddmalloc -workload 'MediaWiki(ro)' -cores 8
 //	webmm -exp fig1 -cpuprofile cpu.pprof    # profile the simulator hot path
+//	webmm -exp all -faults oom:0.05 -timeout 30s   # fault-injection run
 //
 // Experiments: fig1 table2 table3 fig5 fig6 fig7 table4 fig8 fig9 fig10
 // fig11 fig12 all cell.
+//
+// With -faults, injected failures (OOM on fresh mappings, panics, a global
+// memory budget, cache corruption) stress the recovery paths: failed cells
+// render as FAILED rows, the run completes, a failure report goes to
+// stderr, and the exit status is 1. The cell cache is bypassed whenever
+// the plan perturbs simulation results.
 //
 // Each experiment's cells are enumerated by its planner and simulated by a
 // worker pool of -jobs goroutines before the tables render; cells are
@@ -51,6 +58,8 @@ func main() {
 		cores    = flag.Int("cores", 8, "cell: active cores")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		faults   = flag.String("faults", "", "fault plan, e.g. 'oom:0.01,panic:0.1,budget:512MiB,cachecorrupt' (see ParseFaults)")
+		timeout  = flag.Duration("timeout", 0, "per-cell wall-clock budget (0 = unlimited); exceeding it fails the cell")
 	)
 	flag.Parse()
 
@@ -85,6 +94,13 @@ func main() {
 		Seed: *seed, XeonLargePages: *xeonLP,
 	}
 	r := experiments.NewRunner(cfg)
+	plan, err := experiments.ParseFaults(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "webmm:", err)
+		os.Exit(2)
+	}
+	r.Faults = plan
+	r.Timeout = *timeout
 	if *cellDir != "" {
 		cc, err := experiments.NewCellCache(*cellDir)
 		if err != nil {
@@ -183,9 +199,26 @@ func main() {
 			os.Exit(2)
 		}
 	}
+
+	// Every experiment rendered (failed cells as FAILED rows); now report
+	// what went wrong and signal it in the exit status.
+	if fails := r.Failures(); len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "webmm: %d cell(s) failed:\n", len(fails))
+		for _, f := range fails {
+			fmt.Fprintf(os.Stderr, "  %s/%s/%s/%d cores: %v (attempts: %d)\n",
+				f.Cell.Platform, f.Cell.Alloc, f.Cell.Workload, f.Cell.Cores,
+				f.Err, f.Attempts)
+		}
+		os.Exit(1)
+	}
 }
 
 func printCell(cr experiments.CellResult) {
+	if cr.Failed {
+		fmt.Printf("Cell: %s / %s / %s / %d cores: FAILED (see stderr)\n",
+			cr.Platform, cr.Alloc, cr.Workload, cr.Cores)
+		return
+	}
 	t := report.New(fmt.Sprintf("Cell: %s / %s / %s / %d cores",
 		cr.Platform, cr.Alloc, cr.Workload, cr.Cores), "metric", "value")
 	res := cr.Res
@@ -195,8 +228,12 @@ func printCell(cr experiments.CellResult) {
 	t.Add("bus latency multiplier", report.F(res.BusMult, 2))
 	t.Add("cycles/txn", report.F(res.CyclesPerTxn(), 0))
 	mm := res.ClassCyclesPerTxn(sim.ClassAlloc)
+	mmShare := 0.0
+	if cpt := res.CyclesPerTxn(); cpt > 0 {
+		mmShare = mm / cpt
+	}
 	t.Add("  memory management", fmt.Sprintf("%s (%s)",
-		report.F(mm, 0), report.PctOf(mm/res.CyclesPerTxn())))
+		report.F(mm, 0), report.PctOf(mmShare)))
 	t.Add("instructions/txn", report.F(res.PerTxn(res.Totals.Instr), 0))
 	t.Add("L1I misses/txn", report.F(res.PerTxn(res.Totals.L1IMiss), 0))
 	t.Add("L1D misses/txn", report.F(res.PerTxn(res.Totals.L1DMiss), 0))
@@ -215,11 +252,15 @@ func printCell(cr experiments.CellResult) {
 	}
 	t.Add("footprint/txn", report.MB(cr.Footprint))
 	fmt.Println(t.String())
+	txns := float64(res.Txns)
+	if txns == 0 {
+		txns = 1
+	}
 	tail := strings.Builder{}
 	fmt.Fprintf(&tail, "calls/txn: malloc=%.0f free=%.0f realloc=%.0f avg=%.1fB\n",
-		float64(cr.Calls.Mallocs)/float64(res.Txns),
-		float64(cr.Calls.Frees)/float64(res.Txns),
-		float64(cr.Calls.Reallocs)/float64(res.Txns),
+		float64(cr.Calls.Mallocs)/txns,
+		float64(cr.Calls.Frees)/txns,
+		float64(cr.Calls.Reallocs)/txns,
 		cr.Calls.AvgAllocSize())
 	fmt.Print(tail.String())
 }

@@ -113,14 +113,20 @@ func New(env *sim.Env) *Allocator {
 	meta := env.AS.Map(4*mem.KiB, 0, mem.SmallPages)
 	a.binArr = meta.Base
 	a.mappedBytes = meta.Size
-	a.grow()
+	if !a.grow() {
+		panic("dlm: cannot map initial arena")
+	}
 	a.peakMapped = a.mappedBytes
 	return a
 }
 
 // grow extends the heap by one arena increment, creating a fresh top chunk.
-func (a *Allocator) grow() {
-	m := a.env.AS.Map(arenaIncrement, 0, mem.SmallPages)
+// It reports false when the address space refuses (OOM).
+func (a *Allocator) grow() bool {
+	m, err := a.env.AS.TryMap(arenaIncrement, 0, mem.SmallPages)
+	if err != nil {
+		return false
+	}
 	a.env.Instr(400, sim.ClassOS)
 	a.mappedBytes += m.Size
 	if a.mappedBytes > a.peakMapped {
@@ -129,6 +135,7 @@ func (a *Allocator) grow() {
 	a.arenas = append(a.arenas, m)
 	a.top = &chunk{addr: m.Base, size: m.Size, free: true, bin: binUnsorted}
 	a.env.Write(a.top.addr, headerSize, sim.ClassAlloc)
+	return true
 }
 
 func binFor(size uint64) int {
@@ -217,7 +224,9 @@ func (a *Allocator) Malloc(size uint64) heap.Ptr {
 		hit = a.searchBins(trueSize)
 	}
 	if hit == nil {
-		hit = a.carveTop(trueSize)
+		if hit = a.carveTop(trueSize); hit == nil {
+			return 0 // OOM
+		}
 	}
 	// Split the remainder back to the unsorted bin.
 	if hit.size >= trueSize+minChunk {
@@ -327,10 +336,13 @@ func (a *Allocator) searchBins(trueSize uint64) *chunk {
 	return nil
 }
 
-// carveTop serves a request from the wilderness, growing it if needed.
+// carveTop serves a request from the wilderness, growing it if needed; nil
+// means the heap cannot grow (OOM).
 func (a *Allocator) carveTop(trueSize uint64) *chunk {
 	if a.top == nil || a.top.size < trueSize+minChunk {
-		a.grow()
+		if !a.grow() {
+			return nil
+		}
 	}
 	c := &chunk{addr: a.top.addr, size: trueSize, free: true}
 	a.top.addr += mem.Addr(trueSize)
@@ -353,7 +365,10 @@ func (a *Allocator) mallocHuge(size uint64) heap.Ptr {
 	a.stats.BytesAllocated += rounded
 	a.env.Instr(costHuge, sim.ClassAlloc)
 	a.env.Instr(400, sim.ClassOS)
-	m := a.env.AS.Map(rounded, 0, mem.SmallPages)
+	m, err := a.env.AS.TryMap(rounded, 0, mem.SmallPages)
+	if err != nil {
+		return 0 // OOM
+	}
 	a.mappedBytes += m.Size
 	if a.mappedBytes > a.peakMapped {
 		a.peakMapped = a.mappedBytes
@@ -496,6 +511,9 @@ func (a *Allocator) Realloc(p heap.Ptr, oldSize, newSize uint64) heap.Ptr {
 		}
 	}
 	np := a.Malloc(newSize)
+	if np == 0 {
+		return 0 // OOM: the old object stays valid (C realloc semantics)
+	}
 	n := oldSize
 	if newSize < n {
 		n = newSize

@@ -146,6 +146,9 @@ func (a *Allocator) Malloc(size uint64) heap.Ptr {
 	sb := a.cur[cls]
 	if sb == nil || sb.inUse == sb.capacity {
 		sb = a.findSuperblock(cls)
+		if sb == nil {
+			return 0 // OOM: no superblock has room and none can be mapped
+		}
 		a.cur[cls] = sb
 	}
 	// Read the superblock header (fullness + free list head).
@@ -165,7 +168,7 @@ func (a *Allocator) Malloc(size uint64) heap.Ptr {
 }
 
 // findSuperblock picks the fullest usable superblock of the class, mapping
-// a fresh one if none has room.
+// a fresh one if none has room; nil means the OS refused the mapping (OOM).
 func (a *Allocator) findSuperblock(cls int) *superblock {
 	for g := fullnessGroups - 2; g >= 0; g-- { // skip the completely-full group
 		for _, sb := range a.groups[cls][g] {
@@ -186,7 +189,10 @@ func (a *Allocator) findSuperblock(cls int) *superblock {
 }
 
 func (a *Allocator) newSuperblock(cls int) *superblock {
-	m := a.env.AS.Map(SuperblockSize, SuperblockSize, mem.SmallPages)
+	m, err := a.env.AS.TryMap(SuperblockSize, SuperblockSize, mem.SmallPages)
+	if err != nil {
+		return nil
+	}
 	a.env.Instr(costNewSuper, sim.ClassAlloc)
 	a.env.Instr(400, sim.ClassOS)
 	a.mappedBytes += m.Size
@@ -244,7 +250,10 @@ func (a *Allocator) mallocLarge(size uint64) heap.Ptr {
 	a.stats.BytesAllocated += rounded
 	a.env.Instr(costLarge, sim.ClassAlloc)
 	a.env.Instr(400, sim.ClassOS)
-	m := a.env.AS.Map(rounded, 0, mem.SmallPages)
+	m, err := a.env.AS.TryMap(rounded, 0, mem.SmallPages)
+	if err != nil {
+		return 0 // OOM
+	}
 	a.mappedBytes += m.Size
 	if a.mappedBytes > a.peakMapped {
 		a.peakMapped = a.mappedBytes
@@ -266,6 +275,9 @@ func (a *Allocator) Realloc(p heap.Ptr, oldSize, newSize uint64) heap.Ptr {
 		}
 	}
 	np := a.Malloc(newSize)
+	if np == 0 {
+		return 0 // OOM: the old object stays valid (C realloc semantics)
+	}
 	n := oldSize
 	if newSize < n {
 		n = newSize

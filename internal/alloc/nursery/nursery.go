@@ -76,15 +76,21 @@ func New(env *sim.Env, nurserySize uint64) *Allocator {
 		liveNursery: make(map[heap.Ptr]uint64),
 	}
 	a.next = a.nursery.Base
-	a.addOldChunk()
+	if !a.addOldChunk() {
+		panic("nursery: cannot map initial old-generation chunk")
+	}
 	return a
 }
 
-func (a *Allocator) addOldChunk() {
-	c := a.env.AS.Map(oldGenChunk, 0, mem.SmallPages)
+func (a *Allocator) addOldChunk() bool {
+	c, err := a.env.AS.TryMap(oldGenChunk, 0, mem.SmallPages)
+	if err != nil {
+		return false
+	}
 	a.env.Instr(400, sim.ClassOS)
 	a.oldChunks = append(a.oldChunks, c)
 	a.oldNext = c.Base
+	return true
 }
 
 // Name implements heap.Allocator.
@@ -122,7 +128,9 @@ func (a *Allocator) Malloc(size uint64) heap.Ptr {
 	}
 	a.env.Instr(costAlloc, sim.ClassAlloc)
 	if a.next+mem.Addr(rounded) > a.nursery.End() {
-		a.Collect()
+		if !a.Collect() {
+			return 0 // OOM: the old generation cannot grow
+		}
 	}
 	p := a.next
 	a.next += mem.Addr(rounded)
@@ -146,6 +154,9 @@ func (a *Allocator) Free(p heap.Ptr) {
 func (a *Allocator) Realloc(p heap.Ptr, oldSize, newSize uint64) heap.Ptr {
 	a.stats.Reallocs++
 	np := a.Malloc(newSize)
+	if np == 0 {
+		return 0 // OOM: the old object stays valid
+	}
 	if p != 0 {
 		n := oldSize
 		if newSize < n {
@@ -160,14 +171,18 @@ func (a *Allocator) Realloc(p heap.Ptr, oldSize, newSize uint64) heap.Ptr {
 // Collect runs a minor collection: copy every live nursery object to the
 // old generation, then reset the bump pointer to the nursery base. The
 // nursery's addresses are reused immediately — warm if the nursery fits the
-// cache, cold if it does not.
-func (a *Allocator) Collect() {
+// cache, cold if it does not. It reports false when the old generation
+// cannot grow to take the survivors (OOM): the collection aborts with the
+// uncopied objects still live in the nursery, so it can be retried.
+func (a *Allocator) Collect() bool {
 	a.collections++
 	a.env.Instr(costGCFixed, sim.ClassAlloc)
 	for p, sz := range a.liveNursery {
 		a.env.Instr(costPerCopy, sim.ClassAlloc)
 		if a.oldNext+mem.Addr(sz) > a.oldChunks[len(a.oldChunks)-1].End() {
-			a.addOldChunk()
+			if !a.addOldChunk() {
+				return false
+			}
 		}
 		a.env.Copy(a.oldNext, p, sz, sim.ClassAlloc)
 		a.oldNext += mem.Addr(sz)
@@ -179,12 +194,15 @@ func (a *Allocator) Collect() {
 	if fp := a.footprint(); fp > a.peak {
 		a.peak = fp
 	}
+	return true
 }
 
 func (a *Allocator) allocOld(rounded uint64) heap.Ptr {
 	a.env.Instr(costAlloc*2, sim.ClassAlloc)
 	if a.oldNext+mem.Addr(rounded) > a.oldChunks[len(a.oldChunks)-1].End() {
-		a.addOldChunk()
+		if !a.addOldChunk() {
+			return 0 // OOM
+		}
 	}
 	p := a.oldNext
 	a.oldNext += mem.Addr(rounded)

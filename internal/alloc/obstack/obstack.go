@@ -51,12 +51,18 @@ func New(env *sim.Env, chunkSize uint64) *Allocator {
 		chunkSize = DefaultChunkSize
 	}
 	a := &Allocator{env: env, chunkSize: chunkSize}
-	a.addChunk()
+	if !a.addChunk() {
+		panic("obstack: cannot map initial chunk")
+	}
 	return a
 }
 
-func (a *Allocator) addChunk() {
-	c := a.env.AS.Map(a.chunkSize, 0, mem.SmallPages)
+// addChunk maps a fresh chunk, reporting false on OOM.
+func (a *Allocator) addChunk() bool {
+	c, err := a.env.AS.TryMap(a.chunkSize, 0, mem.SmallPages)
+	if err != nil {
+		return false
+	}
 	a.env.Instr(costNewChunk, sim.ClassAlloc)
 	a.env.Instr(300, sim.ClassOS) // malloc/mmap for the chunk
 	// Write the chunk header linking it to its predecessor.
@@ -64,6 +70,7 @@ func (a *Allocator) addChunk() {
 	a.chunks = append(a.chunks, c)
 	a.cur = len(a.chunks) - 1
 	a.next = c.Base + chunkHeader
+	return true
 }
 
 // Name implements heap.Allocator.
@@ -98,7 +105,10 @@ func (a *Allocator) Malloc(size uint64) heap.Ptr {
 	if a.next+mem.Addr(rounded) > a.chunks[a.cur].End() {
 		if rounded+chunkHeader > a.chunkSize {
 			// Oversized object: dedicated chunk, as glibc does.
-			c := a.env.AS.Map(rounded+chunkHeader, 0, mem.SmallPages)
+			c, err := a.env.AS.TryMap(rounded+chunkHeader, 0, mem.SmallPages)
+			if err != nil {
+				return 0 // OOM
+			}
 			a.env.Instr(costNewChunk, sim.ClassAlloc)
 			a.env.Instr(300, sim.ClassOS)
 			a.env.Write(c.Base, chunkHeader, sim.ClassAlloc)
@@ -109,7 +119,9 @@ func (a *Allocator) Malloc(size uint64) heap.Ptr {
 			a.bump(rounded)
 			return c.Base + chunkHeader
 		}
-		a.addChunk()
+		if !a.addChunk() {
+			return 0 // OOM
+		}
 		hdr = a.chunks[a.cur].Base
 	}
 	p := a.next
@@ -141,6 +153,9 @@ func (a *Allocator) Realloc(p heap.Ptr, oldSize, newSize uint64) heap.Ptr {
 		return a.Malloc(newSize)
 	}
 	np := a.Malloc(newSize)
+	if np == 0 {
+		return 0 // OOM: the old object stays valid
+	}
 	n := oldSize
 	if newSize < n {
 		n = newSize

@@ -87,15 +87,22 @@ func New(env *sim.Env) *Allocator {
 	}
 	meta := env.AS.Map(4*mem.KiB, 0, mem.SmallPages)
 	a.binArr = meta.Base
-	a.addChunk()
+	if !a.addChunk() {
+		panic("reap: cannot map initial chunk")
+	}
 	return a
 }
 
-func (a *Allocator) addChunk() {
-	c := a.env.AS.Map(ChunkSize, 0, mem.SmallPages)
+// addChunk maps a fresh bump chunk, reporting false on OOM.
+func (a *Allocator) addChunk() bool {
+	c, err := a.env.AS.TryMap(ChunkSize, 0, mem.SmallPages)
+	if err != nil {
+		return false
+	}
 	a.env.Instr(400, sim.ClassOS)
 	a.chunks = append(a.chunks, c)
 	a.next = c.Base
+	return true
 }
 
 func binFor(size uint64) int {
@@ -151,7 +158,9 @@ func (a *Allocator) Malloc(size uint64) heap.Ptr {
 	// Bump mode: write the boundary tag, hand out the payload.
 	a.env.Instr(costBump, sim.ClassAlloc)
 	if a.next+mem.Addr(rounded+headerSize) > a.chunks[len(a.chunks)-1].End() {
-		a.addChunk()
+		if !a.addChunk() {
+			return 0 // OOM
+		}
 	}
 	a.env.Write(a.next, headerSize, sim.ClassAlloc)
 	p := a.next + headerSize
@@ -255,6 +264,9 @@ func (a *Allocator) Realloc(p heap.Ptr, oldSize, newSize uint64) heap.Ptr {
 		}
 	}
 	np := a.Malloc(newSize)
+	if np == 0 {
+		return 0 // OOM: the old object stays valid (C realloc semantics)
+	}
 	n := oldSize
 	if newSize < n {
 		n = newSize
@@ -289,7 +301,10 @@ func (a *Allocator) mallocHuge(size uint64) heap.Ptr {
 	a.stats.BytesAllocated += rounded
 	a.env.Instr(costHuge, sim.ClassAlloc)
 	a.env.Instr(400, sim.ClassOS)
-	m := a.env.AS.Map(rounded, 0, mem.SmallPages)
+	m, err := a.env.AS.TryMap(rounded, 0, mem.SmallPages)
+	if err != nil {
+		return 0 // OOM
+	}
 	a.env.Write(m.Base, headerSize, sim.ClassAlloc)
 	p := m.Base + headerSize
 	a.huge[p] = m

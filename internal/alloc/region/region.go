@@ -51,16 +51,23 @@ func New(env *sim.Env) *Allocator {
 	a := &Allocator{env: env}
 	meta := env.AS.Map(4*mem.KiB, 0, mem.SmallPages)
 	a.bumpAddr = meta.Base
-	a.addChunk()
+	if !a.addChunk() {
+		panic("region: cannot map initial chunk")
+	}
 	return a
 }
 
-func (a *Allocator) addChunk() {
-	c := a.env.AS.Map(ChunkSize, 0, mem.SmallPages)
+// addChunk maps a fresh chunk, reporting false on OOM.
+func (a *Allocator) addChunk() bool {
+	c, err := a.env.AS.TryMap(ChunkSize, 0, mem.SmallPages)
+	if err != nil {
+		return false
+	}
 	a.env.Instr(400, sim.ClassOS) // mmap syscall
 	a.chunks = append(a.chunks, c)
 	a.cur = len(a.chunks) - 1
 	a.next = c.Base
+	return true
 }
 
 // Name implements heap.Allocator.
@@ -92,7 +99,9 @@ func (a *Allocator) Malloc(size uint64) heap.Ptr {
 	// The bump pointer is a single hot word: read, increment, write.
 	a.env.Read(a.bumpAddr, 8, sim.ClassAlloc)
 	if a.next+mem.Addr(rounded) > a.chunks[a.cur].End() {
-		a.addChunk()
+		if !a.addChunk() {
+			return 0 // OOM
+		}
 	}
 	p := a.next
 	a.next += mem.Addr(rounded)
@@ -123,6 +132,9 @@ func (a *Allocator) Realloc(p heap.Ptr, oldSize, newSize uint64) heap.Ptr {
 		return a.Malloc(newSize)
 	}
 	np := a.Malloc(newSize)
+	if np == 0 {
+		return 0 // OOM: the old object stays valid
+	}
 	n := oldSize
 	if newSize < n {
 		n = newSize

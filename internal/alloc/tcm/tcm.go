@@ -127,7 +127,7 @@ func (a *Allocator) Malloc(size uint64) heap.Ptr {
 	a.fetchBatch(cls, objSize)
 	p := a.cache[cls].Pop()
 	if p == 0 {
-		panic("tcm: batch fetch produced no objects")
+		return 0 // OOM: the page heap could not produce a span
 	}
 	a.env.Read(p, 8, sim.ClassAlloc)
 	a.cacheBytes -= objSize
@@ -141,6 +141,9 @@ func (a *Allocator) fetchBatch(cls int, objSize uint64) {
 	moved := 0
 	for moved < batchSize {
 		sp := a.centralSpan(cls, objSize)
+		if sp == nil {
+			return // OOM: deliver whatever was already moved
+		}
 		for moved < batchSize {
 			var p heap.Ptr
 			if p = sp.objects.Pop(); p == 0 {
@@ -163,7 +166,7 @@ func (a *Allocator) fetchBatch(cls int, objSize uint64) {
 }
 
 // centralSpan returns a span of cls with objects available, mapping one from
-// the page heap if necessary.
+// the page heap if necessary; nil means the page heap is out of memory.
 func (a *Allocator) centralSpan(cls int, objSize uint64) *span {
 	for _, sp := range a.central[cls] {
 		if sp.objects.Len() > 0 || sp.carved < sp.cap {
@@ -171,7 +174,10 @@ func (a *Allocator) centralSpan(cls int, objSize uint64) *span {
 		}
 	}
 	a.env.Instr(costSpanOp, sim.ClassAlloc)
-	m := a.env.AS.Map(spanSize, pageSize, mem.SmallPages)
+	m, err := a.env.AS.TryMap(spanSize, pageSize, mem.SmallPages)
+	if err != nil {
+		return nil
+	}
 	a.env.Instr(400, sim.ClassOS)
 	a.mappedBytes += m.Size
 	if a.mappedBytes > a.peakMapped {
@@ -257,7 +263,10 @@ func (a *Allocator) mallocLarge(size uint64) heap.Ptr {
 	a.stats.BytesAllocated += rounded
 	a.env.Instr(costLarge, sim.ClassAlloc)
 	a.env.Instr(400, sim.ClassOS)
-	m := a.env.AS.Map(rounded, 0, mem.SmallPages)
+	m, err := a.env.AS.TryMap(rounded, 0, mem.SmallPages)
+	if err != nil {
+		return 0 // OOM
+	}
 	a.mappedBytes += m.Size
 	if a.mappedBytes > a.peakMapped {
 		a.peakMapped = a.mappedBytes
@@ -280,6 +289,9 @@ func (a *Allocator) Realloc(p heap.Ptr, oldSize, newSize uint64) heap.Ptr {
 		}
 	}
 	np := a.Malloc(newSize)
+	if np == 0 {
+		return 0 // OOM: the old object stays valid (C realloc semantics)
+	}
 	n := oldSize
 	if newSize < n {
 		n = newSize

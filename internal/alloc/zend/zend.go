@@ -138,13 +138,20 @@ func New(env *sim.Env) *Allocator {
 	a.bucketArr = meta.Base
 	a.cacheArr = meta.Base + numBuckets*8
 	a.mappedBytes = meta.Size
-	a.addSegment()
+	if a.addSegment() == nil {
+		panic("zend: cannot map initial segment")
+	}
 	a.peakMapped = a.mappedBytes
 	return a
 }
 
+// addSegment maps a fresh segment, or returns nil when the address space
+// refuses (OOM propagates to the caller as a null pointer).
 func (a *Allocator) addSegment() *segment {
-	m := a.env.AS.Map(SegmentSize, 0, mem.SmallPages)
+	m, err := a.env.AS.TryMap(SegmentSize, 0, mem.SmallPages)
+	if err != nil {
+		return nil
+	}
 	a.env.Instr(costNewSegment, sim.ClassAlloc)
 	a.env.Instr(400, sim.ClassOS)
 	a.mappedBytes += m.Size
@@ -234,7 +241,9 @@ func (a *Allocator) carveWild(trueSize uint64) *block {
 		}
 	}
 	if s == nil {
-		s = a.addSegment()
+		if s = a.addSegment(); s == nil {
+			return nil
+		}
 	}
 	w := s.wild
 	a.env.Instr(costCarve, sim.ClassAlloc)
@@ -338,7 +347,9 @@ func (a *Allocator) Malloc(size uint64) heap.Ptr {
 		}
 	}
 	if b == nil {
-		b = a.carveWild(trueSize)
+		if b = a.carveWild(trueSize); b == nil {
+			return 0 // OOM
+		}
 	} else {
 		a.unlink(b)
 	}
@@ -374,7 +385,10 @@ func (a *Allocator) mallocHuge(size uint64) heap.Ptr {
 	a.stats.BytesAllocated += rounded
 	a.env.Instr(costHuge, sim.ClassAlloc)
 	a.env.Instr(400, sim.ClassOS)
-	m := a.env.AS.Map(rounded, 0, mem.SmallPages)
+	m, err := a.env.AS.TryMap(rounded, 0, mem.SmallPages)
+	if err != nil {
+		return 0 // OOM
+	}
 	a.mappedBytes += m.Size
 	if a.mappedBytes > a.peakMapped {
 		a.peakMapped = a.mappedBytes
@@ -542,6 +556,9 @@ func (a *Allocator) Realloc(p heap.Ptr, oldSize, newSize uint64) heap.Ptr {
 		}
 	}
 	np := a.Malloc(newSize)
+	if np == 0 {
+		return 0 // OOM: the old object stays valid (C realloc semantics)
+	}
 	n := oldSize
 	if newSize < n {
 		n = newSize

@@ -1,0 +1,92 @@
+package alloctest_test
+
+import (
+	"testing"
+
+	"webmm/internal/alloc/dlm"
+	"webmm/internal/alloc/hoard"
+	"webmm/internal/alloc/nursery"
+	"webmm/internal/alloc/obstack"
+	"webmm/internal/alloc/reap"
+	"webmm/internal/alloc/region"
+	"webmm/internal/alloc/tcm"
+	"webmm/internal/alloc/zend"
+	"webmm/internal/alloctest"
+	"webmm/internal/core"
+	"webmm/internal/heap"
+	"webmm/internal/mem"
+	"webmm/internal/sim"
+)
+
+// makers enumerates every allocator family so the trace interpreter (and
+// its fuzz targets) exercise each one's Map/Free/Realloc paths.
+func makers() map[string]alloctest.Maker {
+	return map[string]alloctest.Maker{
+		"zend":     func(env *sim.Env) heap.Allocator { return zend.New(env) },
+		"dlm":      func(env *sim.Env) heap.Allocator { return dlm.New(env) },
+		"tcm":      func(env *sim.Env) heap.Allocator { return tcm.New(env) },
+		"hoard":    func(env *sim.Env) heap.Allocator { return hoard.New(env) },
+		"reap":     func(env *sim.Env) heap.Allocator { return reap.New(env) },
+		"region":   func(env *sim.Env) heap.Allocator { return region.New(env) },
+		"obstack":  func(env *sim.Env) heap.Allocator { return obstack.New(env, 0) },
+		"ddmalloc": func(env *sim.Env) heap.Allocator { return core.New(env, core.DefaultOptions()) },
+		"nursery":  func(env *sim.Env) heap.Allocator { return nursery.New(env, mem.MiB) },
+	}
+}
+
+// seedTraces are hand-written traces planted in every fuzz corpus: a clean
+// churn, a misuse storm, and an OOM-injected run (see RunTrace's opcodes).
+func seedTraces() [][]byte {
+	return [][]byte{
+		// Clean churn: mallocs, frees, reallocs, bulk free.
+		{0x00, 0x10, 0x00, 0x80, 0x01, 0xff, 0x02, 0x01, 0x00,
+			0x03, 0x00, 0x06, 0x00, 0x20, 0x03, 0x00, 0x08},
+		// Misuse storm: double free, invalid free, realloc misuse.
+		{0x00, 0x20, 0x00, 0x30, 0x03, 0x00, 0x04, 0x00, 0x05,
+			0x07, 0x00, 0x08},
+		// Injected OOM around a large allocation and a realloc grow.
+		{0x09, 0x02, 0xff, 0xff, 0x00, 0x40, 0x09, 0x06, 0x00, 0xff},
+	}
+}
+
+func fuzzTrace(f *testing.F, mk alloctest.Maker) {
+	for _, seed := range seedTraces() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := alloctest.RunTrace(mk, data); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzCheckedZend(f *testing.F)     { fuzzTrace(f, makers()["zend"]) }
+func FuzzCheckedGlibc(f *testing.F)    { fuzzTrace(f, makers()["dlm"]) }
+func FuzzCheckedDDmalloc(f *testing.F) { fuzzTrace(f, makers()["ddmalloc"]) }
+func FuzzCheckedRegion(f *testing.F)   { fuzzTrace(f, makers()["region"]) }
+func FuzzCheckedNursery(f *testing.F)  { fuzzTrace(f, makers()["nursery"]) }
+
+// TestRunTraceAllFamilies drives every allocator family through the seed
+// traces plus deterministic pseudo-random ones, so plain `go test` covers
+// the interpreter end to end without the fuzz engine.
+func TestRunTraceAllFamilies(t *testing.T) {
+	for name, mk := range makers() {
+		t.Run(name, func(t *testing.T) {
+			for i, seed := range seedTraces() {
+				if _, err := alloctest.RunTrace(mk, seed); err != nil {
+					t.Errorf("seed %d: %v", i, err)
+				}
+			}
+			rng := sim.NewRNG(42)
+			for round := 0; round < 4; round++ {
+				data := make([]byte, 2000)
+				for i := range data {
+					data[i] = byte(rng.Uint64())
+				}
+				if _, err := alloctest.RunTrace(mk, data); err != nil {
+					t.Errorf("random trace %d: %v", round, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,134 @@
+package apprt
+
+import (
+	"testing"
+
+	"webmm/internal/alloctest"
+	"webmm/internal/mem"
+	"webmm/internal/sim"
+	"webmm/internal/workload"
+)
+
+// oomProfile allocates objects so large (mean 24 MiB) that every allocator
+// family must map fresh address space mid-transaction, giving the fault
+// injector a target on every request.
+func oomProfile() workload.Profile {
+	return workload.Profile{
+		Name: "oom-test", Mallocs: 24, Frees: 12, Reallocs: 2,
+		AvgSize:      float64(24 * mem.MiB),
+		AppInstr:     10_000,
+		AppDataBytes: 64 * mem.KiB,
+		OutputKB:     1,
+	}
+}
+
+// armOneShot makes the next address-space Map fail, once. Armed after
+// construction, it hits a steady-state allocation and leaves recovery paths
+// (PHP freeAll, Ruby process restart) free to map again.
+func armOneShot(env *sim.Env) {
+	fired := false
+	env.AS.SetFaultInjector(func(uint64) bool {
+		if fired {
+			return false
+		}
+		fired = true
+		return true
+	})
+}
+
+func runRubyTxns(t *testing.T, r *RubyRuntime, env *sim.Env, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		for !r.StepTransaction() {
+			env.Drain()
+		}
+		env.Drain()
+	}
+}
+
+// TestPHPSurvivesInjectedOOM: for every PHP-capable allocator family, an
+// injected mapping failure mid-transaction must bail the request out (one
+// Bailout counted, stream keeps serving) and the following transactions
+// must complete normally.
+func TestPHPSurvivesInjectedOOM(t *testing.T) {
+	for _, name := range []string{"default", "region", "ddmalloc", "obstack", "reap"} {
+		t.Run(name, func(t *testing.T) {
+			env := alloctest.NewEnv(21)
+			r, err := NewPHP(env, name, oomProfile(), 1, AllocOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Arm before the first transaction: it must grow the heap
+			// beyond the constructor's initial mapping, so the injected
+			// failure lands mid-request. (After warm-up, recycling
+			// allocators like DDmalloc stop mapping altogether.)
+			armOneShot(env)
+			runPHPTxns(t, r, env, 4)
+			if got := r.Generator().Stats().Bailouts; got != 1 {
+				t.Fatalf("Bailouts = %d after one injected OOM, want 1", got)
+			}
+
+			// Post-bailout transactions must complete without further
+			// bailouts, on a heap freeAll has made consistent again.
+			mallocsBefore := r.Generator().Stats().Mallocs
+			runPHPTxns(t, r, env, 2)
+			s := r.Generator().Stats()
+			if s.Bailouts != 1 {
+				t.Errorf("post-bailout transactions bailed again: %d", s.Bailouts)
+			}
+			if s.Mallocs <= mallocsBefore {
+				t.Error("post-bailout transactions allocated nothing")
+			}
+		})
+	}
+}
+
+// TestRubySurvivesInjectedOOM: the Ruby runtimes have no request-scoped
+// freeAll; an allocation failure costs the whole process, which the
+// supervisor restarts. The stream keeps serving.
+func TestRubySurvivesInjectedOOM(t *testing.T) {
+	for _, name := range []string{"glibc", "hoard", "tcmalloc", "ddmalloc"} {
+		t.Run(name, func(t *testing.T) {
+			env := alloctest.NewEnv(22)
+			r, err := NewRuby(env, name, oomProfile(), 1, 0, AllocOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runRubyTxns(t, r, env, 2)
+
+			armOneShot(env)
+			restartsBefore := r.Restarts()
+			runRubyTxns(t, r, env, 4)
+			if got := r.Generator().Stats().Bailouts; got != 1 {
+				t.Fatalf("Bailouts = %d after one injected OOM, want 1", got)
+			}
+			if r.Restarts() != restartsBefore+1 {
+				t.Errorf("Restarts = %d, want %d (bail-out restarts the process)",
+					r.Restarts(), restartsBefore+1)
+			}
+
+			mallocsBefore := r.Generator().Stats().Mallocs
+			runRubyTxns(t, r, env, 2)
+			if got := r.Generator().Stats().Mallocs; got <= mallocsBefore {
+				t.Error("post-restart transactions allocated nothing")
+			}
+		})
+	}
+}
+
+// TestPHPTinyBudgetKeepsServing: under a budget every mapping exceeds, every
+// transaction bails out — and the runtime still serves all of them as error
+// pages rather than wedging or crashing.
+func TestPHPTinyBudgetKeepsServing(t *testing.T) {
+	env := alloctest.NewEnv(23)
+	r, err := NewPHP(env, "default", oomProfile(), 1, AllocOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.AS.SetBudget(1) // far below what is already mapped: every Map fails
+	const txns = 4
+	runPHPTxns(t, r, env, txns)
+	if got := r.Generator().Stats().Bailouts; got != txns {
+		t.Fatalf("Bailouts = %d, want %d (every transaction must bail and be served)", got, txns)
+	}
+}

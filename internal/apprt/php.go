@@ -52,7 +52,19 @@ func (r *PHPRuntime) Generator() *workload.Generator { return r.gen }
 // StepTransaction implements machine.Driver.
 func (r *PHPRuntime) StepTransaction() bool {
 	if !r.gen.RunSlice(sliceSteps) {
-		return false
+		if !r.gen.OOMPending() {
+			return false
+		}
+		// Allocation failure: bail the request out the way the PHP
+		// engine does ("allowed memory size exhausted"), reclaim every
+		// transaction-scoped object with freeAll, and serve the error
+		// page. The stream keeps running; the failed transaction counts
+		// as served.
+		r.gen.Bailout()
+		r.alloc.FreeAll()
+		r.alloc.ResetPeak()
+		r.env.Instr(2000, sim.ClassApp)
+		return true
 	}
 	// End of request: sample memory consumption at its transaction peak,
 	// then reclaim all transaction-scoped objects at once.

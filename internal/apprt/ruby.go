@@ -106,7 +106,17 @@ func (r *RubyRuntime) Restarts() uint64 { return r.restarts }
 // StepTransaction implements machine.Driver.
 func (r *RubyRuntime) StepTransaction() bool {
 	if !r.gen.RunSlice(sliceSteps) {
-		return false
+		if !r.gen.OOMPending() {
+			return false
+		}
+		// Allocation failure: a Ruby process has no request-scoped
+		// bail-out, so the supervisor kills and restarts it (the Rails
+		// deployment's answer to a bloated process). The failed request
+		// is served as an error page and the stream keeps running.
+		r.gen.Bailout()
+		r.restart()
+		r.env.Instr(2000, sim.ClassApp)
+		return true
 	}
 	r.footSum += r.alloc.PeakFootprint()
 	r.footN++
@@ -132,7 +142,11 @@ func (r *RubyRuntime) restart() {
 	r.gen.RestartProcess()
 	alloc, err := NewAllocator(r.allocName, r.env, r.opts)
 	if err != nil {
-		panic(err) // construction succeeded before; cannot fail now
+		// Construction succeeded before, so this only fires when the
+		// address space itself is exhausted (tiny budget, injected
+		// fault). The process genuinely cannot come back; the panic is
+		// recovered into a CellError by the experiment runner.
+		panic(err)
 	}
 	r.alloc = alloc
 	r.gen.SetAllocator(alloc)

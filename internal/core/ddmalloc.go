@@ -173,18 +173,24 @@ func New(env *sim.Env, opt Options) *DDmalloc {
 	d.classArr = d.metaBase + heap.NumClasses*8
 	d.largeMeta = d.classArr + mem.Addr(opt.ArenaSegments)
 	d.metaBytes = metaSize
-	d.addArena()
+	if !d.addArena() {
+		panic("ddmalloc: cannot map initial arena")
+	}
 	return d
 }
 
 // addArena maps another run of segments, aligned to the segment size so
-// that address arithmetic can locate an object's segment.
-func (d *DDmalloc) addArena() {
+// that address arithmetic can locate an object's segment. It reports false
+// when the address space refuses (OOM).
+func (d *DDmalloc) addArena() bool {
 	kind := mem.SmallPages
 	if d.opt.LargePages {
 		kind = mem.LargePages
 	}
-	a := d.env.AS.Map(uint64(d.opt.ArenaSegments)*d.opt.SegmentSize, d.opt.SegmentSize, kind)
+	a, err := d.env.AS.TryMap(uint64(d.opt.ArenaSegments)*d.opt.SegmentSize, d.opt.SegmentSize, kind)
+	if err != nil {
+		return false
+	}
 	d.env.Instr(400, sim.ClassOS) // mmap syscall
 	d.arenas = append(d.arenas, a)
 	base := len(d.segments)
@@ -197,6 +203,7 @@ func (d *DDmalloc) addArena() {
 	if base == 0 {
 		d.nextFresh = 0
 	}
+	return true
 }
 
 // Name implements heap.Allocator.
@@ -272,6 +279,9 @@ func (d *DDmalloc) carve(cls int) heap.Ptr {
 	si := d.cur[cls]
 	if si < 0 || d.segments[si].remaining == 0 {
 		si = d.acquireSegment(cls)
+		if si < 0 {
+			return 0 // OOM: no segment available and no arena mappable
+		}
 		d.cur[cls] = si
 	}
 	seg := &d.segments[si]
@@ -291,9 +301,13 @@ func (d *DDmalloc) carve(cls int) heap.Ptr {
 	return p
 }
 
-// acquireSegment obtains an unused segment and dedicates it to class cls.
+// acquireSegment obtains an unused segment and dedicates it to class cls,
+// or returns -1 on OOM.
 func (d *DDmalloc) acquireSegment(cls int) int {
 	si := d.takeSegment()
+	if si < 0 {
+		return -1
+	}
 	seg := &d.segments[si]
 	objSize := heap.ClassSize(cls)
 	seg.class = int16(cls)
@@ -309,22 +323,29 @@ func (d *DDmalloc) acquireSegment(cls int) int {
 }
 
 // takeSegment returns an unused segment index, preferring recycled ones
-// (warm), then fresh ones, mapping a new arena as a last resort.
+// (warm), then fresh ones, mapping a new arena as a last resort. Returns
+// -1 on OOM.
 func (d *DDmalloc) takeSegment() int {
+	if n := len(d.freeSegs); n > 0 {
+		si := d.freeSegs[n-1]
+		d.freeSegs = d.freeSegs[:n-1]
+		d.usedSegs++
+		if d.usedSegs > d.peakUsedSegs {
+			d.peakUsedSegs = d.usedSegs
+		}
+		return si
+	}
+	if d.nextFresh >= len(d.segments) {
+		if !d.addArena() {
+			return -1
+		}
+	}
+	si := d.nextFresh
+	d.nextFresh++
 	d.usedSegs++
 	if d.usedSegs > d.peakUsedSegs {
 		d.peakUsedSegs = d.usedSegs
 	}
-	if n := len(d.freeSegs); n > 0 {
-		si := d.freeSegs[n-1]
-		d.freeSegs = d.freeSegs[:n-1]
-		return si
-	}
-	if d.nextFresh >= len(d.segments) {
-		d.addArena()
-	}
-	si := d.nextFresh
-	d.nextFresh++
 	return si
 }
 
@@ -347,10 +368,18 @@ func (d *DDmalloc) mallocLarge(size uint64) heap.Ptr {
 		// Fresh contiguous run; individual recycled segments cannot be
 		// assumed adjacent.
 		if d.nextFresh+nSegs > len(d.segments) {
-			d.addArena()
-			// Skip to the new arena so the run is contiguous; the
-			// leftover fresh segments stay available individually.
-			newStart := (len(d.segments)/d.opt.ArenaSegments - 1) * d.opt.ArenaSegments
+			// Skip to freshly mapped whole arenas so the run is
+			// contiguous (back-to-back mappings from the bump address
+			// space); an object bigger than one arena takes several.
+			// The leftover fresh segments stay available individually.
+			newStart := len(d.segments)
+			for len(d.segments) < newStart+nSegs {
+				if !d.addArena() {
+					// OOM: arenas already added stay as fresh
+					// segments for future allocations.
+					return 0
+				}
+			}
 			for i := d.nextFresh; i < newStart; i++ {
 				d.freeSegs = append(d.freeSegs, i)
 			}
@@ -427,6 +456,9 @@ func (d *DDmalloc) Realloc(p heap.Ptr, oldSize, newSize uint64) heap.Ptr {
 		}
 	}
 	np := d.Malloc(newSize)
+	if np == 0 {
+		return 0 // OOM: the old object stays valid (C realloc semantics)
+	}
 	n := oldSize
 	if newSize < n {
 		n = newSize

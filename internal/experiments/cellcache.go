@@ -58,18 +58,24 @@ func (cc *CellCache) path(cfg Config, c Cell) string {
 	return filepath.Join(cc.dir, hex.EncodeToString(h[:16])+".json")
 }
 
-// load returns the cached result for (cfg, c) if present and valid.
+// load returns the cached result for (cfg, c) if present and valid. An
+// invalid entry — truncated, corrupted, or recording the wrong key — is
+// deleted on the spot, so one bad file costs one re-simulation rather than
+// a parse failure on every future run (the cache self-heals).
 func (cc *CellCache) load(cfg Config, c Cell) (CellResult, bool) {
 	if cc == nil {
 		return CellResult{}, false
 	}
-	data, err := os.ReadFile(cc.path(cfg, c))
+	path := cc.path(cfg, c)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return CellResult{}, false
 	}
 	var e cellEntry
 	if err := json.Unmarshal(data, &e); err != nil ||
-		e.Version != cellCacheVersion || e.Cfg != cfg || e.Cell != c {
+		e.Version != cellCacheVersion || e.Cfg != cfg || e.Cell != c ||
+		e.Result.Failed {
+		_ = os.Remove(path)
 		return CellResult{}, false
 	}
 	return e.Result, true
@@ -97,4 +103,14 @@ func (cc *CellCache) store(cfg Config, c Cell, res CellResult) {
 	if err := os.Rename(tmp, path); err != nil {
 		_ = os.Remove(tmp)
 	}
+}
+
+// storeCorrupt writes a deliberately broken entry for (cfg, c) — fault
+// injection for the self-healing load path (FaultPlan.CacheCorrupt). A
+// later load must reject it, delete it, and re-simulate.
+func (cc *CellCache) storeCorrupt(cfg Config, c Cell) {
+	if cc == nil {
+		return
+	}
+	_ = os.WriteFile(cc.path(cfg, c), []byte(`{"Version":`), 0o644)
 }

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"webmm/internal/mem"
+)
+
+// FaultPlan configures deterministic fault injection for a Runner. All
+// randomness derives from (Config.Seed, cell, stream, attempt), so a given
+// plan reproduces the same failures run after run — a failing cell can be
+// re-simulated in isolation with the same flags and fail the same way.
+//
+// A zero FaultPlan injects nothing and leaves every number bit-identical to
+// a Runner without one.
+type FaultPlan struct {
+	// OOMRate is the per-Map probability that a stream's address space
+	// refuses the mapping (TryMap returns an OOMError). Injectors arm
+	// after runtime construction, so injected OOM lands on the
+	// steady-state allocation paths the bail-out machinery handles.
+	OOMRate float64
+	// PanicRate is the per-(cell, attempt) probability of a panic thrown
+	// inside the simulation, exercising the runner's recover/retry path.
+	PanicRate float64
+	// Budget caps each stream's address space at this many mapped bytes
+	// (0 = unlimited). Unlike OOMRate it is deterministic pressure: the
+	// heap that outgrows the budget fails, every time.
+	Budget uint64
+	// CacheCorrupt makes the Runner write deliberately truncated cell-cache
+	// entries, exercising the cache's self-healing load path. It is the
+	// one fault that does not bypass the cache (corrupting a cache nobody
+	// reads would test nothing).
+	CacheCorrupt bool
+}
+
+// Active reports whether the plan can perturb simulation results. Active
+// plans bypass the cell cache in both directions: perturbed results must
+// never be stored where a clean run would load them, and cached clean
+// results would mask the injected faults.
+func (f FaultPlan) Active() bool {
+	return f.OOMRate > 0 || f.PanicRate > 0 || f.Budget > 0
+}
+
+// ParseFaults parses a -faults flag value: comma-separated directives
+//
+//	oom:RATE          inject mapping failures with probability RATE
+//	panic:RATE        inject simulation panics with probability RATE
+//	budget:SIZE       cap each stream's mapped bytes (e.g. 64MiB, 1GiB)
+//	cachecorrupt      write corrupted cell-cache entries
+//
+// e.g. "oom:0.01,panic:0.1,budget:64MiB,cachecorrupt". An empty string is
+// the zero plan.
+func ParseFaults(s string) (FaultPlan, error) {
+	var f FaultPlan
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return f, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		key, val, hasVal := strings.Cut(part, ":")
+		switch key {
+		case "oom", "panic":
+			if !hasVal {
+				return f, fmt.Errorf("faults: %q needs a rate, e.g. %s:0.01", key, key)
+			}
+			rate, err := strconv.ParseFloat(val, 64)
+			if err != nil || rate < 0 || rate > 1 {
+				return f, fmt.Errorf("faults: bad rate %q for %s (want 0..1)", val, key)
+			}
+			if key == "oom" {
+				f.OOMRate = rate
+			} else {
+				f.PanicRate = rate
+			}
+		case "budget":
+			if !hasVal {
+				return f, fmt.Errorf("faults: budget needs a size, e.g. budget:64MiB")
+			}
+			n, err := parseSize(val)
+			if err != nil {
+				return f, err
+			}
+			f.Budget = n
+		case "cachecorrupt":
+			if hasVal {
+				return f, fmt.Errorf("faults: cachecorrupt takes no value")
+			}
+			f.CacheCorrupt = true
+		case "":
+			return f, fmt.Errorf("faults: empty directive in %q", s)
+		default:
+			return f, fmt.Errorf("faults: unknown directive %q (want oom, panic, budget, cachecorrupt)", key)
+		}
+	}
+	return f, nil
+}
+
+// parseSize parses a byte size with an optional KiB/MiB/GiB (or K/M/G)
+// suffix.
+func parseSize(s string) (uint64, error) {
+	mult := uint64(1)
+	for _, suf := range []struct {
+		name string
+		mult uint64
+	}{
+		{"KiB", mem.KiB}, {"MiB", mem.MiB}, {"GiB", mem.GiB},
+		{"K", mem.KiB}, {"M", mem.MiB}, {"G", mem.GiB},
+	} {
+		if strings.HasSuffix(s, suf.name) {
+			s, mult = strings.TrimSuffix(s, suf.name), suf.mult
+			break
+		}
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("faults: bad size %q", s)
+	}
+	return n * mult, nil
+}

@@ -34,6 +34,7 @@ type Fig10Entry struct {
 	Alloc      string
 	Throughput float64
 	RelToGlibc float64
+	Failed     bool
 }
 
 // Fig10 runs the Ruby allocator comparison.
@@ -47,6 +48,7 @@ func Fig10(r *Runner) []Fig10Entry {
 			Alloc:      alloc,
 			Throughput: cr.Res.Throughput,
 			RelToGlibc: relThroughput(cr, base),
+			Failed:     cr.Failed || base.Failed,
 		})
 	}
 	return out
@@ -57,6 +59,10 @@ func Fig10Table(entries []Fig10Entry) *report.Table {
 	t := report.New("Figure 10: Ruby on Rails throughput, 8 Xeon cores (restart every 500 txns)",
 		"allocator", "transactions/sec", "vs glibc")
 	for _, e := range entries {
+		if e.Failed {
+			t.Add(e.Alloc, "FAILED", "-")
+			continue
+		}
 		t.Add(e.Alloc, report.F(e.Throughput, 1), report.Pct(e.RelToGlibc))
 	}
 	return t
@@ -70,24 +76,28 @@ func Fig10Table(entries []Fig10Entry) *report.Table {
 type Fig11Entry struct {
 	Alloc           string
 	MMPct, OtherPct float64
+	Failed          bool
 }
 
 // Fig11 runs the Ruby breakdown.
 func Fig11(r *Runner) []Fig11Entry {
 	restart := r.rubyRestart(rubyRestartEvery)
-	base := r.Run(rubyCell("glibc", restart)).Res.CyclesPerTxn()
+	baseCr := r.Run(rubyCell("glibc", restart))
+	base := baseCr.Res.CyclesPerTxn()
 	var out []Fig11Entry
 	for _, alloc := range RubyAllocators() {
 		cr := r.Run(rubyCell(alloc, restart))
+		if cr.Failed || baseCr.Failed || base == 0 {
+			out = append(out, Fig11Entry{Alloc: alloc, Failed: true})
+			continue
+		}
 		mm := cr.Res.ClassCyclesPerTxn(sim.ClassAlloc)
 		total := cr.Res.CyclesPerTxn()
-		if base > 0 {
-			out = append(out, Fig11Entry{
-				Alloc:    alloc,
-				MMPct:    mm / base * 100,
-				OtherPct: (total - mm) / base * 100,
-			})
-		}
+		out = append(out, Fig11Entry{
+			Alloc:    alloc,
+			MMPct:    mm / base * 100,
+			OtherPct: (total - mm) / base * 100,
+		})
 	}
 	return out
 }
@@ -97,6 +107,10 @@ func Fig11Table(entries []Fig11Entry) *report.Table {
 	t := report.New("Figure 11: Rails CPU time per transaction breakdown, 8 Xeon cores (glibc = 100)",
 		"allocator", "memory management", "others", "total")
 	for _, e := range entries {
+		if e.Failed {
+			t.Add(e.Alloc, "FAILED", "-", "-")
+			continue
+		}
 		t.Add(e.Alloc, report.F(e.MMPct, 1), report.F(e.OtherPct, 1),
 			report.F(e.MMPct+e.OtherPct, 1))
 	}
@@ -116,6 +130,7 @@ type Fig12Entry struct {
 	Period       int // full-scale transactions per process; 0 = no restart
 	Throughput   float64
 	VsNoRestart  float64 // relative to the same allocator without restarts
+	Failed       bool
 }
 
 // Fig12 runs the restart-period sweep.
@@ -130,6 +145,7 @@ func Fig12(r *Runner) []Fig12Entry {
 				Period:      period,
 				Throughput:  cr.Res.Throughput,
 				VsNoRestart: relThroughput(cr, base),
+				Failed:      cr.Failed || base.Failed,
 			})
 		}
 	}
@@ -144,6 +160,10 @@ func Fig12Table(entries []Fig12Entry) *report.Table {
 		period := "no restart"
 		if e.Period > 0 {
 			period = report.F(float64(e.Period), 0)
+		}
+		if e.Failed {
+			t.Add(e.Alloc, period, "FAILED", "-")
+			continue
 		}
 		t.Add(e.Alloc, period, report.F(e.Throughput, 1), report.Pct(e.VsNoRestart))
 	}

@@ -7,9 +7,14 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"webmm/internal/apprt"
 	"webmm/internal/heap"
@@ -94,7 +99,39 @@ type CellResult struct {
 	Calls heap.Stats
 	// Txns per stream measured.
 	TxnsPerStream float64
+	// Failed marks a cell whose simulation did not complete (panic,
+	// timeout, cancellation, or configuration error); every other field
+	// is zero and figures must render it as failed rather than as data.
+	// omitempty keeps fault-free cache entries and fingerprints
+	// byte-identical to builds that predate the field.
+	Failed bool `json:",omitempty"`
 }
+
+// CellError describes one cell whose simulation failed. The runner isolates
+// the failure — a panicking cell cannot take down the process or the other
+// cells of the plan — and records it here for the CLI's failure report.
+type CellError struct {
+	Cell     Cell
+	Err      error  // the panic (wrapped), timeout, or configuration error
+	Stack    []byte // goroutine stack at the point of a recovered panic
+	Attempts int    // how many times the cell was tried
+}
+
+func (e *CellError) Error() string {
+	return fmt.Sprintf("cell %+v failed after %d attempt(s): %v", e.Cell, e.Attempts, e.Err)
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// panicError wraps a recovered panic so the retry logic can distinguish
+// transient crashes (retried once) from deterministic configuration errors
+// and timeouts (not retried).
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (e *panicError) Error() string { return fmt.Sprintf("panic: %v", e.val) }
 
 // Runner memoizes cell results for a fixed Config. It is safe for
 // concurrent use: racing Run calls for the same cell collapse into a single
@@ -106,10 +143,21 @@ type Runner struct {
 	// process runs skip already-simulated cells. Set before the first
 	// Run.
 	Cache *CellCache
+	// Faults configures deterministic fault injection (see FaultPlan).
+	// Set before the first Run; an Active plan bypasses the cell cache.
+	Faults FaultPlan
+	// Timeout bounds each cell's simulation wall time (0 = unbounded).
+	// A timed-out cell is reported failed; its simulation goroutine is
+	// abandoned (the simulator has no preemption points) and exits with
+	// the process.
+	Timeout time.Duration
+	// Ctx, when non-nil, cancels in-flight and future cells when done.
+	Ctx context.Context
 
 	mu       sync.Mutex
 	cells    map[Cell]CellResult
 	inflight map[Cell]*inflightCell
+	failures []*CellError
 }
 
 // inflightCell tracks one in-progress simulation so racing callers wait for
@@ -141,6 +189,12 @@ type footprinter interface {
 
 // Run simulates (or returns the memoized result of) one cell. Concurrent
 // calls are safe; concurrent calls for the same cell run one simulation.
+//
+// A cell whose simulation fails — a panic anywhere under simulate, a
+// timeout, a cancelled Ctx, or a configuration error — does not crash the
+// process: Run returns a zero CellResult with Failed set, records a
+// CellError (see Failures), and every other cell keeps running. Recovered
+// panics are retried once before the cell is declared failed.
 func (r *Runner) Run(c Cell) CellResult {
 	r.mu.Lock()
 	if got, ok := r.cells[c]; ok {
@@ -156,10 +210,32 @@ func (r *Runner) Run(c Cell) CellResult {
 	r.inflight[c] = fl
 	r.mu.Unlock()
 
-	out, cached := r.Cache.load(r.Cfg, c)
+	// An active fault plan bypasses the cache in both directions:
+	// perturbed results must not poison it and clean entries must not
+	// mask the faults.
+	useCache := !r.Faults.Active()
+	var out CellResult
+	cached := false
+	if useCache {
+		out, cached = r.Cache.load(r.Cfg, c)
+	}
 	if !cached {
-		out = r.simulate(c)
-		r.Cache.store(r.Cfg, c, out)
+		res, cerr := r.runCell(c)
+		if cerr != nil {
+			out = CellResult{Cell: c, Failed: true}
+			r.mu.Lock()
+			r.failures = append(r.failures, cerr)
+			r.mu.Unlock()
+		} else {
+			out = res
+			if useCache {
+				if r.Faults.CacheCorrupt {
+					r.Cache.storeCorrupt(r.Cfg, c)
+				} else {
+					r.Cache.store(r.Cfg, c, out)
+				}
+			}
+		}
 	}
 
 	fl.res = out
@@ -169,6 +245,96 @@ func (r *Runner) Run(c Cell) CellResult {
 	r.mu.Unlock()
 	close(fl.done)
 	return out
+}
+
+// Failures returns the cells that failed so far, in failure order.
+func (r *Runner) Failures() []*CellError {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*CellError, len(r.failures))
+	copy(out, r.failures)
+	return out
+}
+
+// runCell runs one cell with panic isolation, retrying once when the
+// failure was a recovered panic (possibly transient under random fault
+// injection). Timeouts, cancellation, and configuration errors are
+// deterministic and not retried.
+func (r *Runner) runCell(c Cell) (CellResult, *CellError) {
+	var lastErr error
+	var stack []byte
+	for attempt := 0; attempt < 2; attempt++ {
+		out, err := r.simulateGuarded(c, attempt)
+		if err == nil {
+			return out, nil
+		}
+		lastErr, stack = err, nil
+		var pe *panicError
+		if !errors.As(err, &pe) {
+			return CellResult{}, &CellError{Cell: c, Err: err, Attempts: attempt + 1}
+		}
+		stack = pe.stack
+	}
+	return CellResult{}, &CellError{Cell: c, Err: lastErr, Stack: stack, Attempts: 2}
+}
+
+// simulateGuarded runs simulate with panics recovered into errors and, when
+// a Timeout or Ctx is configured, a watchdog that abandons the simulation
+// goroutine rather than letting one wedged cell stall the whole plan.
+func (r *Runner) simulateGuarded(c Cell, attempt int) (CellResult, error) {
+	run := func() (out CellResult, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = &panicError{val: p, stack: debug.Stack()}
+			}
+		}()
+		return r.simulate(c, attempt)
+	}
+	if r.Timeout <= 0 && r.Ctx == nil {
+		return run()
+	}
+	type outcome struct {
+		res CellResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := run()
+		ch <- outcome{res, err}
+	}()
+	var expired <-chan time.Time
+	if r.Timeout > 0 {
+		t := time.NewTimer(r.Timeout)
+		defer t.Stop()
+		expired = t.C
+	}
+	var cancelled <-chan struct{}
+	if r.Ctx != nil {
+		cancelled = r.Ctx.Done()
+	}
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-expired:
+		return CellResult{}, fmt.Errorf("simulation exceeded timeout %v", r.Timeout)
+	case <-cancelled:
+		return CellResult{}, r.Ctx.Err()
+	}
+}
+
+// faultSeed derives the fault-injection RNG seed for one (cell, stream,
+// attempt). It is independent of Config.Seed's other consumers — the
+// simulation draws from per-stream RNGs seeded elsewhere — and distinct per
+// retry, so a cell that failed under random injection gets fresh draws on
+// its second attempt.
+func faultSeed(seed uint64, c Cell, stream, attempt int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%+v|%d|%d", seed, c, stream, attempt)
+	s := h.Sum64()
+	if s == 0 {
+		s = 1
+	}
+	return s
 }
 
 // RunAll simulates every cell of a plan, fanning the distinct cells out
@@ -219,21 +385,29 @@ func (r *Runner) RunAll(cells []Cell, jobs int) []CellResult {
 }
 
 // simulate runs one cell from scratch. It touches no Runner state beyond
-// the (immutable) Cfg, which is what makes parallel fan-out safe.
-func (r *Runner) simulate(c Cell) CellResult {
+// the (immutable) Cfg and Faults, which is what makes parallel fan-out
+// safe. attempt distinguishes the retry's fault-injection draws from the
+// first try's; with an empty FaultPlan it has no effect at all.
+func (r *Runner) simulate(c Cell, attempt int) (CellResult, error) {
+	if r.Faults.PanicRate > 0 {
+		rng := sim.NewRNG(faultSeed(r.Cfg.Seed, c, -1, attempt))
+		if rng.Bool(r.Faults.PanicRate) {
+			panic(fmt.Sprintf("injected fault: cell %+v attempt %d", c, attempt))
+		}
+	}
 	plat, err := machine.PlatformByName(c.Platform)
 	if err != nil {
-		panic(err)
+		return CellResult{}, err
 	}
 	plat = scalePlatform(plat, r.Cfg.Scale)
 
 	prof, err := workload.ByName(c.Workload)
 	if err != nil {
-		panic(err)
+		return CellResult{}, err
 	}
 	allocCode, err := apprt.AllocCodeSize(c.Alloc)
 	if err != nil {
-		panic(err)
+		return CellResult{}, err
 	}
 	// Interpreter + compiled-script code footprint. Code size is a fixed
 	// property of the software, like the allocator's own footprint, so
@@ -250,7 +424,7 @@ func (r *Runner) simulate(c Cell) CellResult {
 		if c.Ruby {
 			rt, err := apprt.NewRuby(s.Env, c.Alloc, prof, r.Cfg.Scale, c.RestartEvery, opts)
 			if err != nil {
-				panic(err)
+				return CellResult{}, err
 			}
 			// The restart *period* is scaled by 8/scale (see
 			// rubyRestart), so the restart cost is scaled by the
@@ -261,9 +435,28 @@ func (r *Runner) simulate(c Cell) CellResult {
 		} else {
 			rt, err := apprt.NewPHP(s.Env, c.Alloc, prof, r.Cfg.Scale, opts)
 			if err != nil {
-				panic(err)
+				return CellResult{}, err
 			}
 			drivers[i], fps[i], gens[i] = rt, rt, rt.Generator()
+		}
+	}
+	// Arm fault injection after construction so injected OOM lands on the
+	// steady-state Map paths the runtimes' bail-out machinery handles
+	// (construction failure is a panic, isolated one level up). The
+	// injector RNGs are the streams' own, seeded apart from all
+	// simulation randomness, so an empty plan changes nothing.
+	if r.Faults.OOMRate > 0 || r.Faults.Budget > 0 {
+		for i, s := range m.Streams() {
+			as := s.Env.AS
+			if r.Faults.Budget > 0 {
+				as.SetBudget(r.Faults.Budget)
+			}
+			if rate := r.Faults.OOMRate; rate > 0 {
+				rng := sim.NewRNG(faultSeed(r.Cfg.Seed, c, i, attempt))
+				as.SetFaultInjector(func(size uint64) bool {
+					return rng.Bool(rate)
+				})
+			}
 		}
 	}
 	warmup, measure := r.Cfg.Warmup, r.Cfg.Measure
@@ -302,11 +495,12 @@ func (r *Runner) simulate(c Cell) CellResult {
 		calls.Reallocs += after.Reallocs - callsBefore[i].Reallocs
 		calls.BytesRequested += after.BytesRequested - callsBefore[i].BytesRequested
 		calls.BytesAllocated += after.BytesAllocated - callsBefore[i].BytesAllocated
+		calls.Bailouts += after.Bailouts - callsBefore[i].Bailouts
 	}
 	out.Footprint = fpSum / float64(len(fps))
 	out.Calls = calls
 	out.TxnsPerStream = float64(res.Txns) / float64(len(fps))
-	return out
+	return out, nil
 }
 
 // PHPAllocators are the three allocators of the PHP study, in the paper's

@@ -1,0 +1,232 @@
+package heap
+
+import "fmt"
+
+// ErrKind classifies a heap-misuse detection by the Checked wrapper.
+type ErrKind int
+
+const (
+	// ErrDoubleFree: Free of a pointer that was already freed.
+	ErrDoubleFree ErrKind = iota
+	// ErrInvalidFree: Free of a pointer this heap never returned (or that
+	// has been bulk-freed).
+	ErrInvalidFree
+	// ErrInvalidRealloc: Realloc of a pointer this heap never returned,
+	// or with an oldSize that contradicts the recorded allocation.
+	ErrInvalidRealloc
+	// ErrReallocAfterFree: Realloc of a pointer that was already freed.
+	ErrReallocAfterFree
+	// ErrLeak: an object still live when FreeAll ran with leak checking
+	// enabled.
+	ErrLeak
+)
+
+func (k ErrKind) String() string {
+	switch k {
+	case ErrDoubleFree:
+		return "double free"
+	case ErrInvalidFree:
+		return "invalid free"
+	case ErrInvalidRealloc:
+		return "invalid realloc"
+	case ErrReallocAfterFree:
+		return "realloc after free"
+	case ErrLeak:
+		return "leak at freeAll"
+	}
+	return "unknown heap error"
+}
+
+// HeapError is one detected heap misuse. The underlying allocator never
+// sees the offending call, so detection is side-effect free: the simulated
+// heap stays consistent and the caller keeps running.
+type HeapError struct {
+	Kind ErrKind
+	Op   string // "free", "realloc", "freeAll"
+	Ptr  Ptr
+	Size uint64 // recorded object size where known
+}
+
+func (e *HeapError) Error() string {
+	return fmt.Sprintf("heap: %s: %s(%#x) size=%d", e.Kind, e.Op, uint64(e.Ptr), e.Size)
+}
+
+// maxHeapErrors caps how many errors a Checked wrapper records; a misuse
+// storm (a fuzzer at full tilt) should not grow memory without bound.
+const maxHeapErrors = 64
+
+// Checked wraps any Allocator with misuse detection: double free, free of
+// an unknown pointer, realloc after free or of an unknown pointer, and —
+// when CheckLeaks is set — objects still live at FreeAll. Misuse is
+// recorded as a typed *HeapError and NOT forwarded to the inner allocator
+// (whose own bookkeeping would otherwise corrupt or panic), so a hardened
+// heap degrades gracefully where the bare one dies.
+//
+// The wrapper is opt-in and costs Go-side map bookkeeping per call; the
+// paper-reproduction experiments never wrap, so their numbers are
+// untouched.
+type Checked struct {
+	inner Allocator
+
+	// CheckLeaks makes FreeAll record an ErrLeak for objects that were
+	// never freed per-object. Off by default: PHP-style runtimes
+	// legitimately abandon everything to freeAll.
+	CheckLeaks bool
+
+	live  map[Ptr]uint64 // object -> requested size
+	freed map[Ptr]bool   // freed per-object and not yet reused
+	errs  []*HeapError
+	drops uint64 // errors not recorded because of the cap
+}
+
+// NewChecked wraps inner with misuse detection.
+func NewChecked(inner Allocator) *Checked {
+	return &Checked{
+		inner: inner,
+		live:  make(map[Ptr]uint64),
+		freed: make(map[Ptr]bool),
+	}
+}
+
+// Inner returns the wrapped allocator.
+func (c *Checked) Inner() Allocator { return c.inner }
+
+// Err returns the first recorded misuse, or nil if the trace was clean.
+func (c *Checked) Err() error {
+	if len(c.errs) == 0 {
+		return nil
+	}
+	return c.errs[0]
+}
+
+// Errors returns every recorded misuse (capped; Dropped counts the rest).
+func (c *Checked) Errors() []*HeapError { return c.errs }
+
+// Dropped reports how many errors were discarded once the cap was hit.
+func (c *Checked) Dropped() uint64 { return c.drops }
+
+// LiveObjects reports how many objects are currently tracked as live.
+func (c *Checked) LiveObjects() int { return len(c.live) }
+
+func (c *Checked) record(e *HeapError) {
+	if len(c.errs) >= maxHeapErrors {
+		c.drops++
+		return
+	}
+	c.errs = append(c.errs, e)
+}
+
+// Name implements Allocator.
+func (c *Checked) Name() string { return c.inner.Name() + "+checked" }
+
+// CodeSize implements Allocator.
+func (c *Checked) CodeSize() uint64 { return c.inner.CodeSize() }
+
+// SupportsFree implements Allocator.
+func (c *Checked) SupportsFree() bool { return c.inner.SupportsFree() }
+
+// SupportsFreeAll implements Allocator.
+func (c *Checked) SupportsFreeAll() bool { return c.inner.SupportsFreeAll() }
+
+// PeakFootprint implements Allocator.
+func (c *Checked) PeakFootprint() uint64 { return c.inner.PeakFootprint() }
+
+// ResetPeak implements Allocator.
+func (c *Checked) ResetPeak() { c.inner.ResetPeak() }
+
+// Stats implements Allocator.
+func (c *Checked) Stats() Stats { return c.inner.Stats() }
+
+// Malloc implements Allocator.
+func (c *Checked) Malloc(size uint64) Ptr {
+	p := c.inner.Malloc(size)
+	if p != 0 {
+		c.live[p] = size
+		// The allocator may legitimately hand back a previously freed
+		// address; it is live again now.
+		delete(c.freed, p)
+	}
+	return p
+}
+
+// Free implements Allocator: misuse is recorded and swallowed; a valid
+// free is forwarded.
+func (c *Checked) Free(p Ptr) {
+	if p == 0 {
+		return // free(NULL) is defined as a no-op
+	}
+	if !c.inner.SupportsFree() {
+		// Region-family Free is a no-op by contract; any pointer is
+		// equally (in)valid, so there is nothing to check.
+		c.inner.Free(p)
+		return
+	}
+	if c.freed[p] {
+		c.record(&HeapError{Kind: ErrDoubleFree, Op: "free", Ptr: p})
+		return
+	}
+	size, ok := c.live[p]
+	if !ok {
+		c.record(&HeapError{Kind: ErrInvalidFree, Op: "free", Ptr: p})
+		return
+	}
+	delete(c.live, p)
+	c.freed[p] = true
+	c.inner.Free(p)
+	_ = size
+}
+
+// Realloc implements Allocator. The recorded size is authoritative: a
+// caller-supplied oldSize that contradicts it marks the call invalid
+// rather than corrupting the inner allocator's copy length.
+func (c *Checked) Realloc(p Ptr, oldSize, newSize uint64) Ptr {
+	if p == 0 {
+		np := c.inner.Realloc(0, 0, newSize)
+		if np != 0 {
+			c.live[np] = newSize
+			delete(c.freed, np)
+		}
+		return np
+	}
+	if c.freed[p] {
+		c.record(&HeapError{Kind: ErrReallocAfterFree, Op: "realloc", Ptr: p})
+		return 0
+	}
+	rec, ok := c.live[p]
+	if !ok {
+		c.record(&HeapError{Kind: ErrInvalidRealloc, Op: "realloc", Ptr: p})
+		return 0
+	}
+	if oldSize != rec {
+		c.record(&HeapError{Kind: ErrInvalidRealloc, Op: "realloc", Ptr: p, Size: rec})
+		return 0
+	}
+	np := c.inner.Realloc(p, rec, newSize)
+	if np == 0 {
+		return 0 // OOM: p stays live
+	}
+	if np != p {
+		delete(c.live, p)
+		if c.inner.SupportsFree() {
+			c.freed[p] = true
+		}
+	}
+	c.live[np] = newSize
+	delete(c.freed, np)
+	return np
+}
+
+// FreeAll implements Allocator: with CheckLeaks set, every object still
+// live is recorded as a leak before the bulk free runs. Either way the
+// wrapper's tracking resets — the heap is empty afterwards and old
+// addresses may be reused.
+func (c *Checked) FreeAll() {
+	if c.CheckLeaks {
+		for p, size := range c.live {
+			c.record(&HeapError{Kind: ErrLeak, Op: "freeAll", Ptr: p, Size: size})
+		}
+	}
+	c.inner.FreeAll()
+	c.live = make(map[Ptr]uint64)
+	c.freed = make(map[Ptr]bool)
+}

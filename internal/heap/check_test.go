@@ -1,0 +1,199 @@
+package heap
+
+import "testing"
+
+// stubAlloc is a minimal in-test Allocator: bump addresses, free-list reuse
+// of the most recently freed object, enough behaviour to exercise every
+// Checked path without importing a real allocator (which would cycle).
+type stubAlloc struct {
+	next     Ptr
+	freeList []Ptr
+	freeAll  bool
+	perFree  bool
+	oomAt    uint64 // Malloc fails once next reaches this address (0 = never)
+	stats    Stats
+}
+
+func newStub() *stubAlloc {
+	return &stubAlloc{next: 0x1000, perFree: true, freeAll: true}
+}
+
+func (s *stubAlloc) Name() string          { return "stub" }
+func (s *stubAlloc) CodeSize() uint64      { return 1024 }
+func (s *stubAlloc) SupportsFree() bool    { return s.perFree }
+func (s *stubAlloc) SupportsFreeAll() bool { return s.freeAll }
+func (s *stubAlloc) PeakFootprint() uint64 { return 0 }
+func (s *stubAlloc) ResetPeak()            {}
+func (s *stubAlloc) Stats() Stats          { return s.stats }
+
+func (s *stubAlloc) Malloc(size uint64) Ptr {
+	s.stats.Mallocs++
+	if n := len(s.freeList); n > 0 {
+		p := s.freeList[n-1]
+		s.freeList = s.freeList[:n-1]
+		return p
+	}
+	if s.oomAt != 0 && uint64(s.next) >= s.oomAt {
+		return 0
+	}
+	p := s.next
+	s.next += Ptr((size + 15) &^ 7)
+	return p
+}
+
+func (s *stubAlloc) Free(p Ptr) {
+	s.stats.Frees++
+	s.freeList = append(s.freeList, p)
+}
+
+func (s *stubAlloc) Realloc(p Ptr, oldSize, newSize uint64) Ptr {
+	s.stats.Reallocs++
+	if p == 0 {
+		return s.Malloc(newSize)
+	}
+	np := s.Malloc(newSize)
+	if np == 0 {
+		return 0
+	}
+	s.Free(p)
+	return np
+}
+
+func (s *stubAlloc) FreeAll() {
+	s.stats.FreeAlls++
+	s.freeList = s.freeList[:0]
+}
+
+func TestCheckedCleanTrace(t *testing.T) {
+	c := NewChecked(newStub())
+	p := c.Malloc(32)
+	q := c.Malloc(64)
+	if p == 0 || q == 0 {
+		t.Fatal("malloc failed")
+	}
+	q2 := c.Realloc(q, 64, 128)
+	if q2 == 0 {
+		t.Fatal("realloc failed")
+	}
+	c.Free(p)
+	c.Free(q2)
+	c.FreeAll()
+	if err := c.Err(); err != nil {
+		t.Fatalf("clean trace reported %v", err)
+	}
+}
+
+func TestCheckedDoubleFree(t *testing.T) {
+	c := NewChecked(newStub())
+	p := c.Malloc(16)
+	c.Free(p)
+	c.Free(p)
+	errs := c.Errors()
+	if len(errs) != 1 || errs[0].Kind != ErrDoubleFree {
+		t.Fatalf("want one ErrDoubleFree, got %v", errs)
+	}
+	// The inner allocator saw only one free: the misuse was contained.
+	if got := c.Inner().Stats().Frees; got != 1 {
+		t.Fatalf("inner saw %d frees, want 1", got)
+	}
+}
+
+func TestCheckedInvalidFree(t *testing.T) {
+	c := NewChecked(newStub())
+	c.Malloc(16)
+	c.Free(0xdead0)
+	errs := c.Errors()
+	if len(errs) != 1 || errs[0].Kind != ErrInvalidFree {
+		t.Fatalf("want one ErrInvalidFree, got %v", errs)
+	}
+}
+
+func TestCheckedReallocMisuse(t *testing.T) {
+	c := NewChecked(newStub())
+	p := c.Malloc(16)
+	c.Free(p)
+	if np := c.Realloc(p, 16, 32); np != 0 {
+		t.Fatalf("realloc-after-free returned %#x, want 0", np)
+	}
+	if np := c.Realloc(0xdead0, 16, 32); np != 0 {
+		t.Fatalf("realloc of unknown pointer returned %#x, want 0", np)
+	}
+	q := c.Malloc(40)
+	if np := c.Realloc(q, 999, 80); np != 0 {
+		t.Fatalf("realloc with wrong oldSize returned %#x, want 0", np)
+	}
+	kinds := map[ErrKind]int{}
+	for _, e := range c.Errors() {
+		kinds[e.Kind]++
+	}
+	if kinds[ErrReallocAfterFree] != 1 || kinds[ErrInvalidRealloc] != 2 {
+		t.Fatalf("unexpected error mix: %v", c.Errors())
+	}
+	// q must still be valid after the rejected realloc.
+	c.Free(q)
+	if n := len(c.Errors()); n != 3 {
+		t.Fatalf("freeing q after rejected realloc added errors: %v", c.Errors())
+	}
+}
+
+func TestCheckedAddressReuseIsNotDoubleFree(t *testing.T) {
+	c := NewChecked(newStub())
+	p := c.Malloc(16)
+	c.Free(p)
+	p2 := c.Malloc(16) // stub reuses the freed address LIFO
+	if p2 != p {
+		t.Fatalf("stub did not reuse address: %#x vs %#x", p2, p)
+	}
+	c.Free(p2)
+	if err := c.Err(); err != nil {
+		t.Fatalf("legitimate reuse flagged: %v", err)
+	}
+}
+
+func TestCheckedLeakAtFreeAll(t *testing.T) {
+	c := NewChecked(newStub())
+	c.CheckLeaks = true
+	c.Malloc(16)
+	c.Malloc(32)
+	c.FreeAll()
+	leaks := 0
+	for _, e := range c.Errors() {
+		if e.Kind == ErrLeak {
+			leaks++
+		}
+	}
+	if leaks != 2 {
+		t.Fatalf("want 2 leaks, got %v", c.Errors())
+	}
+	// After FreeAll the slate is clean: fresh allocations are fine.
+	p := c.Malloc(8)
+	c.Free(p)
+	if len(c.Errors()) != 2 {
+		t.Fatalf("post-FreeAll activity added errors: %v", c.Errors())
+	}
+}
+
+func TestCheckedOOMPropagates(t *testing.T) {
+	s := newStub()
+	s.oomAt = uint64(s.next) // every fresh mapping fails
+	c := NewChecked(s)
+	if p := c.Malloc(16); p != 0 {
+		t.Fatalf("expected OOM, got %#x", p)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("OOM is not misuse, but got %v", err)
+	}
+}
+
+func TestCheckedErrorCap(t *testing.T) {
+	c := NewChecked(newStub())
+	for i := 0; i < maxHeapErrors+10; i++ {
+		c.Free(Ptr(0xbad000 + i*8))
+	}
+	if len(c.Errors()) != maxHeapErrors {
+		t.Fatalf("cap not applied: %d errors", len(c.Errors()))
+	}
+	if c.Dropped() != 10 {
+		t.Fatalf("dropped = %d, want 10", c.Dropped())
+	}
+}

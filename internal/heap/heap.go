@@ -34,6 +34,12 @@ type Stats struct {
 	// BytesAllocated sums the sizes after size-class rounding.
 	BytesRequested uint64
 	BytesAllocated uint64
+
+	// Bailouts counts transactions abandoned mid-flight because an
+	// allocation failed (the PHP engine's "allowed memory size exhausted"
+	// bail-out, the Rails process restart). Zero in fault-free runs;
+	// omitted from JSON then so existing goldens stay byte-identical.
+	Bailouts uint64 `json:",omitempty"`
 }
 
 // AvgAllocSize returns the mean requested allocation size, as in Table 3's

@@ -92,6 +92,38 @@ type AddressSpace struct {
 	// largeEpoch counts mutations of the large-mapping list, so callers
 	// that cache a PageShiftRegion answer can tell when it may be stale.
 	largeEpoch uint64
+
+	// budget, when nonzero, caps the bytes that may be simultaneously
+	// mapped: TryMap fails (and Map panics) once mapped+size would exceed
+	// it. This models an OS memory limit (ulimit/cgroup) independent of
+	// the address-space span.
+	budget uint64
+
+	// inject, when non-nil, is consulted by TryMap before anything else;
+	// returning true fails the call with an injected OOM. Fault-injection
+	// hook for the -faults framework.
+	inject func(size uint64) bool
+}
+
+// OOMError reports a failed TryMap: either the configured byte budget was
+// exceeded, the address-space span was exhausted, or a fault injector
+// forced the failure.
+type OOMError struct {
+	Need     uint64 // bytes requested (after page rounding)
+	Budget   uint64 // configured budget (0 = unlimited)
+	Mapped   uint64 // bytes mapped at the time of the failure
+	Injected bool   // true when a fault injector forced the failure
+}
+
+func (e *OOMError) Error() string {
+	if e.Injected {
+		return fmt.Sprintf("mem: injected map failure (%d bytes)", e.Need)
+	}
+	if e.Budget > 0 {
+		return fmt.Sprintf("mem: budget exceeded: need %d bytes, %d of %d mapped",
+			e.Need, e.Mapped, e.Budget)
+	}
+	return fmt.Sprintf("mem: address space exhausted: need %d bytes", e.Need)
 }
 
 // NewAddressSpace returns an address space serving mappings from
@@ -112,8 +144,21 @@ func NewAddressSpace(base Addr, span uint64, largePageShift uint8) *AddressSpace
 // Map reserves size bytes aligned to align (which must be a power of two, or
 // zero for page alignment) and returns the mapping. Map never reuses
 // addresses: like a simulator's mmap it always moves upward, so a stale
-// pointer can never alias a new mapping.
+// pointer can never alias a new mapping. Map panics when the space cannot
+// satisfy the request; callers that must survive OOM use TryMap.
 func (as *AddressSpace) Map(size, align uint64, kind PageKind) Mapping {
+	m, err := as.TryMap(size, align, kind)
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
+}
+
+// TryMap is Map with an error return: misuse (zero size, bad alignment)
+// still panics — those are programming errors — but exhaustion of the
+// span or the configured budget, and injected faults, return an *OOMError
+// so allocators can surface OOM as a null pointer instead of dying.
+func (as *AddressSpace) TryMap(size, align uint64, kind PageKind) (Mapping, error) {
 	if size == 0 {
 		panic("mem: Map with size 0")
 	}
@@ -132,11 +177,16 @@ func (as *AddressSpace) Map(size, align uint64, kind PageKind) Mapping {
 	}
 	size = roundUp(size, pageSize)
 
+	if as.inject != nil && as.inject(size) {
+		return Mapping{}, &OOMError{Need: size, Budget: as.budget, Mapped: as.mapped, Injected: true}
+	}
+	if as.budget > 0 && as.mapped+size > as.budget {
+		return Mapping{}, &OOMError{Need: size, Budget: as.budget, Mapped: as.mapped}
+	}
 	base := Addr(roundUp(uint64(as.next), align))
 	end := base + Addr(size)
 	if end > as.limit {
-		panic(fmt.Sprintf("mem: address space exhausted: need %d bytes, %d remain",
-			size, uint64(as.limit-as.next)))
+		return Mapping{}, &OOMError{Need: size, Budget: as.budget, Mapped: as.mapped}
 	}
 	as.next = end
 	as.mapped += size
@@ -149,8 +199,21 @@ func (as *AddressSpace) Map(size, align uint64, kind PageKind) Mapping {
 		as.large = append(as.large, m)
 		as.largeEpoch++
 	}
-	return m
+	return m, nil
 }
+
+// SetBudget caps the bytes that may be simultaneously mapped (0 removes
+// the cap). Takes effect on the next TryMap/Map call; already-mapped bytes
+// are kept even if they exceed the new budget.
+func (as *AddressSpace) SetBudget(bytes uint64) { as.budget = bytes }
+
+// Budget returns the configured byte budget (0 = unlimited).
+func (as *AddressSpace) Budget() uint64 { return as.budget }
+
+// SetFaultInjector installs a hook consulted on every TryMap/Map with the
+// page-rounded request size; returning true fails the call with an
+// injected OOMError. Pass nil to disable.
+func (as *AddressSpace) SetFaultInjector(f func(size uint64) bool) { as.inject = f }
 
 // Unmap releases a mapping's bytes from the footprint accounting. The
 // address range is never recycled (see Map), so a dangling simulated pointer

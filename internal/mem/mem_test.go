@@ -129,3 +129,54 @@ func TestMapNeverReusesAddresses(t *testing.T) {
 			m1.Base, m1.End(), m2.Base)
 	}
 }
+
+func TestTryMapBudget(t *testing.T) {
+	as := NewAddressSpace(0, 1<<40, LargePageShiftXeon)
+	as.SetBudget(64 * KiB)
+	if _, err := as.TryMap(48*KiB, 0, SmallPages); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	_, err := as.TryMap(32*KiB, 0, SmallPages)
+	oom, ok := err.(*OOMError)
+	if !ok {
+		t.Fatalf("over budget returned %v, want *OOMError", err)
+	}
+	if oom.Injected || oom.Budget != 64*KiB || oom.Mapped != 48*KiB {
+		t.Errorf("OOMError = %+v", oom)
+	}
+	if as.Mapped() != 48*KiB {
+		t.Errorf("failed TryMap changed footprint: %d mapped", as.Mapped())
+	}
+	// Lifting the budget (or freeing) lets the same request through.
+	as.SetBudget(0)
+	if _, err := as.TryMap(32*KiB, 0, SmallPages); err != nil {
+		t.Errorf("after lifting budget: %v", err)
+	}
+}
+
+func TestTryMapFaultInjector(t *testing.T) {
+	as := NewAddressSpace(0, 1<<40, LargePageShiftXeon)
+	var sizes []uint64
+	as.SetFaultInjector(func(size uint64) bool {
+		sizes = append(sizes, size)
+		return len(sizes) == 1 // only the first call fails
+	})
+	_, err := as.TryMap(10*KiB, 0, SmallPages)
+	oom, ok := err.(*OOMError)
+	if !ok || !oom.Injected {
+		t.Fatalf("injected failure returned %v, want injected *OOMError", err)
+	}
+	if len(sizes) != 1 || sizes[0] != 12*KiB {
+		t.Errorf("injector saw sizes %v, want one page-rounded 12KiB request", sizes)
+	}
+	if as.Mapped() != 0 || as.MapCalls() != 0 {
+		t.Error("injected failure leaked into the accounting")
+	}
+	if _, err := as.TryMap(10*KiB, 0, SmallPages); err != nil {
+		t.Errorf("injector disarmed but TryMap still fails: %v", err)
+	}
+	as.SetFaultInjector(nil)
+	if _, err := as.TryMap(10*KiB, 0, SmallPages); err != nil {
+		t.Errorf("nil injector: %v", err)
+	}
+}

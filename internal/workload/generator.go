@@ -61,6 +61,11 @@ type Generator struct {
 	cursor    int
 	txns      int
 
+	// oomPending is set when the allocator returned null mid-transaction;
+	// the runtime observes it via OOMPending and must Bailout (or abandon
+	// the process) before the generator will make progress again.
+	oomPending bool
+
 	// Cross-transaction survivors (Ruby study): fraction of the objects
 	// alive at transaction end that live on for several transactions,
 	// punching the holes that age the heap.
@@ -140,8 +145,13 @@ func (g *Generator) drawSize() uint64 {
 // RunSlice advances the current transaction by up to maxSteps allocation
 // steps, returning true when the transaction's allocation phase is
 // complete. The caller then finishes the transaction with EndTransaction
-// (and, for PHP-style runtimes, the allocator's FreeAll).
+// (and, for PHP-style runtimes, the allocator's FreeAll). A false return
+// with OOMPending set means an allocation failed mid-slice: the runtime
+// must Bailout (PHP) or restart the process (Ruby) before continuing.
 func (g *Generator) RunSlice(maxSteps int) (done bool) {
+	if g.oomPending {
+		return false
+	}
 	if g.cursor == 0 {
 		g.beginTransaction()
 	}
@@ -151,8 +161,27 @@ func (g *Generator) RunSlice(maxSteps int) (done bool) {
 	}
 	for ; g.cursor < end; g.cursor++ {
 		g.step()
+		if g.oomPending {
+			return false
+		}
 	}
 	return g.cursor >= g.nMalloc
+}
+
+// OOMPending reports whether the current transaction hit an allocation
+// failure and is waiting to be bailed out.
+func (g *Generator) OOMPending() bool { return g.oomPending }
+
+// Bailout abandons the in-flight transaction after an allocation failure:
+// object tracking is dropped (the caller reclaims the heap with FreeAll or
+// a process restart) and the failure is counted in Stats().Bailouts. This
+// is the PHP engine's "allowed memory size exhausted" bail-out — the
+// stream serves an error page and keeps running.
+func (g *Generator) Bailout() {
+	g.stats.Bailouts++
+	g.oomPending = false
+	g.live = g.live[:0]
+	g.cursor = 0
 }
 
 func (g *Generator) beginTransaction() {
@@ -182,6 +211,12 @@ func (g *Generator) step() {
 	g.stats.Mallocs++
 	g.stats.BytesRequested += size
 	g.stats.BytesAllocated += heap.RoundedSize(size)
+	if p == 0 {
+		// OOM: the attempt is counted, but there is no object to
+		// initialize. The runtime bails the transaction out.
+		g.oomPending = true
+		return
+	}
 	g.env.Write(p, size, sim.ClassApp)
 	g.live = append(g.live, obj{p, size})
 
@@ -281,6 +316,12 @@ func (g *Generator) reallocOne() {
 	newSize := o.size + o.size/2 + 8
 	np := g.alloc.Realloc(o.p, o.size, newSize)
 	g.stats.Reallocs++
+	if np == 0 {
+		// Failed realloc keeps the old object valid (C semantics); the
+		// transaction still bails out.
+		g.oomPending = true
+		return
+	}
 	o.p = np
 	o.size = newSize
 }
