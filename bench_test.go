@@ -32,7 +32,7 @@ func benchRunner() *experiments.Runner {
 // Allocator micro-benchmarks: the simulator-side cost of the allocator
 // models themselves (Go time per simulated malloc/free pair).
 
-func benchAllocator(b *testing.B, name string) {
+func benchAllocator(b *testing.B, name webmm.AllocatorName) {
 	b.Helper()
 	sb := webmm.NewSandbox(webmm.Xeon(), 1)
 	a, err := sb.NewAllocator(name)
@@ -362,8 +362,8 @@ func BenchmarkAblationSegmentSize(b *testing.B) {
 // BenchmarkAblationObstackVsRegion compares the two region-style allocators
 // (the paper kept its own because it outperformed obstack).
 func BenchmarkAblationObstackVsRegion(b *testing.B) {
-	for _, name := range []string{"region", "obstack"} {
-		b.Run(name, func(b *testing.B) {
+	for _, name := range []webmm.AllocatorName{"region", "obstack"} {
+		b.Run(string(name), func(b *testing.B) {
 			sb := webmm.NewSandbox(webmm.Xeon(), 1)
 			a, err := sb.NewAllocator(name)
 			if err != nil {

@@ -10,9 +10,18 @@
 //	webmm -exp cell -platform xeon -alloc ddmalloc -workload 'MediaWiki(ro)' -cores 8
 //	webmm -exp fig1 -cpuprofile cpu.pprof    # profile the simulator hot path
 //	webmm -exp all -faults oom:0.05 -timeout 30s   # fault-injection run
+//	webmm -exp fig1 -trace t.jsonl -metrics m.prom -manifest run.json
+//	webmm -list                    # the experiment and allocator catalogues
 //
-// Experiments: fig1 table2 table3 fig5 fig6 fig7 table4 fig8 fig9 fig10
-// fig11 fig12 all cell.
+// Run webmm -h for the full experiment list (generated from the registry
+// that also drives -exp parsing and EXPERIMENTS.md).
+//
+// With -trace/-metrics/-manifest, the run writes its telemetry: a Chrome
+// Trace Event (JSONL) span log of every cell and phase (load it in
+// chrome://tracing or Perfetto), a Prometheus text (or .csv) metrics dump,
+// and a JSON manifest recording configuration, per-cell wall time and
+// throughput, cache behaviour, and failures. Telemetry observes only — the
+// simulated results are bit-identical with and without it.
 //
 // With -faults, injected failures (OOM on fresh mappings, panics, a global
 // memory budget, cache corruption) stress the recovery paths: failed cells
@@ -35,15 +44,22 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
+	"webmm/internal/apprt"
 	"webmm/internal/experiments"
 	"webmm/internal/report"
 	"webmm/internal/sim"
+	"webmm/internal/telemetry"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (fig1,table2,table3,fig5,fig6,fig7,table4,fig8,fig9,fig10,fig11,fig12,all,cell)")
+		exp      = flag.String("exp", "all", "experiment to run (see the list below)")
 		scale    = flag.Int("scale", 32, "workload scale divisor (power of two; 1 = paper scale)")
 		warmup   = flag.Int("warmup", 2, "warmup transactions per stream")
 		measure  = flag.Int("measure", 3, "measured transactions per stream")
@@ -53,26 +69,38 @@ func main() {
 		cellDir  = flag.String("cellcache", "", "directory of the on-disk cell-result cache (empty = disabled)")
 		xeonLP   = flag.Bool("xeon-large-pages", false, "enable DDmalloc large pages on Xeon (paper's +11.7% variant)")
 		platform = flag.String("platform", "xeon", "cell: platform (xeon, niagara)")
-		alloc    = flag.String("alloc", "ddmalloc", "cell: allocator")
+		alloc    = flag.String("alloc", "ddmalloc", "cell: allocator (see the list below)")
 		wl       = flag.String("workload", "MediaWiki(ro)", "cell: workload name")
 		cores    = flag.Int("cores", 8, "cell: active cores")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		faults   = flag.String("faults", "", "fault plan, e.g. 'oom:0.01,panic:0.1,budget:512MiB,cachecorrupt' (see ParseFaults)")
 		timeout  = flag.Duration("timeout", 0, "per-cell wall-clock budget (0 = unlimited); exceeding it fails the cell")
+
+		tracePath    = flag.String("trace", "", "write a Chrome Trace Event (JSONL) span log to this file")
+		metricsPath  = flag.String("metrics", "", "write metrics to this file on exit (Prometheus text; .csv suffix selects CSV)")
+		manifestPath = flag.String("manifest", "", "write the run manifest (JSON) to this file on exit")
+		list         = flag.Bool("list", false, "print the experiment and allocator catalogues and exit")
+		validateTel  = flag.Bool("validate-telemetry", false, "after the run, validate the files written by -trace/-metrics/-manifest")
 	)
+	flag.Usage = usage
 	flag.Parse()
+
+	if *list {
+		printCatalogues()
+		return 0
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "webmm:", err)
-			os.Exit(2)
+			return 2
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, "webmm:", err)
-			os.Exit(2)
+			return 2
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -89,15 +117,27 @@ func main() {
 		}()
 	}
 
+	started := time.Now()
+	tel, err := telemetry.New(telemetry.Options{
+		TracePath:    *tracePath,
+		MetricsPath:  *metricsPath,
+		ManifestPath: *manifestPath,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "webmm:", err)
+		return 2
+	}
+
 	cfg := experiments.Config{
 		Scale: *scale, Warmup: *warmup, Measure: *measure,
 		Seed: *seed, XeonLargePages: *xeonLP,
 	}
 	r := experiments.NewRunner(cfg)
+	r.Tel = tel
 	plan, err := experiments.ParseFaults(*faults)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "webmm:", err)
-		os.Exit(2)
+		return 2
 	}
 	r.Faults = plan
 	r.Timeout = *timeout
@@ -105,100 +145,25 @@ func main() {
 		cc, err := experiments.NewCellCache(*cellDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "webmm:", err)
-			os.Exit(2)
+			return 2
 		}
 		r.Cache = cc
 	}
 
-	emit := func(t *report.Table) {
-		if *csv {
-			fmt.Print(t.CSV())
-		} else {
-			fmt.Println(t.String())
-		}
-	}
-
-	run := func(name string) error {
-		// Fan the experiment's cell plan out over the worker pool first;
-		// the figure code below then renders from memoized results. With
-		// -jobs 1 the fan-out is skipped and the figure loops run their
-		// historical serial order.
-		if cells := r.CellsFor(name); len(cells) > 0 && *jobs != 1 {
-			r.RunAll(cells, *jobs)
-		}
-		switch name {
-		case "fig1":
-			emit(experiments.Fig1(r).Table())
-		case "table2":
-			emit(experiments.Table2())
-		case "table3":
-			emit(experiments.Table3Table(experiments.Table3(r)))
-		case "fig5":
-			entries := experiments.Fig5(r)
-			emit(experiments.Fig5Table(entries))
-			if !*csv {
-				for _, plat := range []string{"xeon", "niagara"} {
-					ch := report.NewChart(fmt.Sprintf("Relative throughput on %s (| = default)", plat))
-					ch.SetBaseline(1.0)
-					for _, e := range entries {
-						if e.Platform == plat {
-							ch.Add(e.Workload+" region", e.Region)
-							ch.Add(e.Workload+" DDmalloc", e.DD)
-						}
-					}
-					fmt.Println(ch.String())
-				}
-			}
-		case "fig6":
-			emit(experiments.Fig6Table(experiments.Fig6(r)))
-		case "fig7":
-			points := experiments.Fig7(r)
-			emit(experiments.Fig7Table(points))
-			if !*csv {
-				for _, plat := range []string{"xeon", "niagara"} {
-					ch := report.NewChart(fmt.Sprintf("MediaWiki(ro) on %s, txns/sec by cores", plat))
-					for _, p := range points {
-						if p.Platform == plat {
-							ch.Add(fmt.Sprintf("%-8s @%d", p.Alloc, p.Cores), p.Throughput)
-						}
-					}
-					fmt.Println(ch.String())
-				}
-			}
-		case "table4":
-			emit(experiments.Table4Table(experiments.Table4(r)))
-		case "fig8":
-			emit(experiments.Fig8Table(experiments.Fig8(r)))
-		case "fig9":
-			emit(experiments.Fig9Table(experiments.Fig9(r)))
-		case "fig10":
-			emit(experiments.Fig10Table(experiments.Fig10(r)))
-		case "fig11":
-			emit(experiments.Fig11Table(experiments.Fig11(r)))
-		case "fig12":
-			emit(experiments.Fig12Table(experiments.Fig12(r)))
-		case "cell":
-			cr := r.Run(experiments.Cell{
-				Platform: *platform, Alloc: *alloc, Workload: *wl, Cores: *cores,
-			})
-			printCell(cr)
-		default:
-			return fmt.Errorf("unknown experiment %q", name)
-		}
-		return nil
-	}
-
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table2", "table3", "fig1", "fig5", "fig6", "fig7",
-			"table4", "fig8", "fig9", "fig10", "fig11", "fig12"}
+		names = experiments.ExperimentNames()
 	}
+	var ran []string
 	for _, name := range names {
-		if err := run(name); err != nil {
+		if err := runExperiment(r, name, *jobs, *csv, *platform, *alloc, *wl, *cores); err != nil {
 			fmt.Fprintln(os.Stderr, "webmm:", err)
-			os.Exit(2)
+			return 2
 		}
+		ran = append(ran, name)
 	}
+
+	status := 0
 
 	// Every experiment rendered (failed cells as FAILED rows); now report
 	// what went wrong and signal it in the exit status.
@@ -209,7 +174,123 @@ func main() {
 				f.Cell.Platform, f.Cell.Alloc, f.Cell.Workload, f.Cell.Cores,
 				f.Err, f.Attempts)
 		}
-		os.Exit(1)
+		status = 1
+	}
+
+	if tel.Enabled() {
+		m := r.BuildManifest(ran)
+		m.Config.Jobs = *jobs
+		m.Config.Faults = *faults
+		if *timeout > 0 {
+			m.Config.Timeout = timeout.String()
+		}
+		m.Config.CellCacheDir = *cellDir
+		m.Stamp(started)
+		tel.SetManifest(m)
+		if err := tel.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "webmm:", err)
+			return 2
+		}
+	}
+	if *validateTel {
+		if err := validateTelemetry(*tracePath, *metricsPath, *manifestPath); err != nil {
+			fmt.Fprintln(os.Stderr, "webmm: telemetry validation:", err)
+			return 2
+		}
+		fmt.Fprintln(os.Stderr, "webmm: telemetry validated")
+	}
+	return status
+}
+
+// runExperiment fans the named experiment's cell plan out over the worker
+// pool, then renders its tables (and, in table mode, charts) from the
+// memoized results. "cell" is the one experiment outside the registry: a
+// single cell selected by the -platform/-alloc/-workload/-cores flags.
+func runExperiment(r *experiments.Runner, name string, jobs int, csv bool,
+	platform, alloc, wl string, cores int) error {
+	if name == "cell" {
+		cr := r.Run(experiments.Cell{
+			Platform: platform, Alloc: alloc, Workload: wl, Cores: cores,
+		})
+		printCell(cr)
+		return nil
+	}
+	d, err := experiments.ExperimentByName(name)
+	if err != nil {
+		return err
+	}
+	if d.Cells != nil && jobs != 1 {
+		if cells := d.Cells(r); len(cells) > 0 {
+			r.RunAll(cells, jobs)
+		}
+	}
+	out := d.Run(r)
+	for _, t := range out.Tables {
+		if csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+	if !csv {
+		for _, ch := range out.Charts {
+			fmt.Println(ch.String())
+		}
+	}
+	return nil
+}
+
+func validateTelemetry(tracePath, metricsPath, manifestPath string) error {
+	if tracePath == "" && metricsPath == "" && manifestPath == "" {
+		return fmt.Errorf("nothing to validate: give -trace, -metrics, or -manifest")
+	}
+	if tracePath != "" {
+		n, err := telemetry.ValidateTraceFile(tracePath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "webmm: trace ok (%d events)\n", n)
+	}
+	if metricsPath != "" {
+		n, err := telemetry.ValidateMetricsFile(metricsPath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "webmm: metrics ok (%d samples)\n", n)
+	}
+	if manifestPath != "" {
+		m, err := telemetry.ValidateManifestFile(manifestPath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "webmm: manifest ok (%d cells, %d failures)\n",
+			len(m.Cells), len(m.Failures))
+	}
+	return nil
+}
+
+// usage prints the flag help plus the experiment and allocator lists, both
+// generated from the registries so they cannot drift from -exp and -alloc
+// parsing.
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(),
+		"webmm regenerates the tables and figures of the paper's evaluation.\n\nUsage: webmm [flags]\n\nFlags:\n")
+	flag.PrintDefaults()
+	fmt.Fprintf(flag.CommandLine.Output(), "\nExperiments (-exp):\n%s", experiments.UsageExperiments())
+	fmt.Fprintf(flag.CommandLine.Output(), "\nAllocators (-alloc):\n")
+	for _, d := range apprt.Allocators() {
+		fmt.Fprintf(flag.CommandLine.Output(), "  %-8s [%s] %s\n", d.Name, d.Study, d.Doc)
+	}
+}
+
+func printCatalogues() {
+	fmt.Println("Experiments:")
+	for _, d := range experiments.Experiments() {
+		fmt.Printf("  %-7s %-9s %s\n          example: %s\n", d.Name, d.Ref, d.Doc, d.Example)
+	}
+	fmt.Println("\nAllocators:")
+	for _, d := range apprt.Allocators() {
+		fmt.Printf("  %-8s [%-5s] %s\n", d.Name, d.Study, d.Doc)
 	}
 }
 

@@ -1,0 +1,118 @@
+package webmm_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"webmm"
+)
+
+// Building a study with functional options and comparing the PHP-study
+// allocators on one workload. Everything is seeded, so the relative
+// throughputs are reproducible; the default allocator is the baseline.
+func ExampleNewStudy() {
+	study, err := webmm.NewStudy(
+		webmm.WithScale(1024), // tiny transactions: fast, coarse
+		webmm.WithRounds(1, 1),
+		webmm.WithJobs(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel, err := study.CompareAllocators("phpBB", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(rel), rel[webmm.AllocDefault] == 1.0)
+	// Output: 3 true
+}
+
+// Running a single simulation cell: DDmalloc serving MediaWiki (read-only)
+// on two Xeon cores.
+func ExampleStudy_Cell() {
+	study, err := webmm.NewStudy(
+		webmm.WithScale(1024),
+		webmm.WithRounds(1, 1),
+		webmm.WithJobs(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := study.Cell(webmm.CellSpec{
+		Alloc:    webmm.AllocDDmalloc,
+		Workload: "MediaWiki(ro)",
+		Cores:    2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out.Machine.Throughput > 0, out.Calls.Mallocs > 0)
+	// Output: true true
+}
+
+// Driving an allocator by hand on a one-core sandbox: the allocator's API
+// traffic and the application's memory touches all flow through the cache
+// model.
+func ExampleNewSandbox() {
+	sb := webmm.NewSandbox(webmm.Xeon(), 1)
+	dd := sb.NewDDmalloc(webmm.DDOptions{})
+
+	p := dd.Malloc(100)    // size-class rounded
+	sb.Touch(p, 100, true) // application write, priced by the caches
+	dd.Free(p)             // LIFO free-list push, no defragmentation
+	dd.FreeAll()           // end of transaction
+	sb.Measure()
+
+	st := dd.Stats()
+	fmt.Printf("mallocs=%d frees=%d rounded=%dB\n",
+		st.Mallocs, st.Frees, webmm.RoundedSize(100))
+	// Output: mallocs=1 frees=1 rounded=104B
+}
+
+// The experiment registry drives the CLI's -exp flag, its usage text, and
+// EXPERIMENTS.md; the public API exposes the same catalogue.
+func ExampleExperiments() {
+	for _, e := range webmm.Experiments()[:3] {
+		fmt.Printf("%-6s %s\n", e.Name, e.Ref)
+	}
+	// Output:
+	// fig1   Figure 1
+	// table2 Table 2
+	// table3 Table 3
+}
+
+// A telemetry session records spans, metrics, and a run manifest without
+// perturbing the simulation; Close flushes the files. (Not executed during
+// tests — it writes files.)
+func Example_telemetry() {
+	dir, err := os.MkdirTemp("", "webmm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	tel, err := webmm.NewTelemetry(webmm.TelemetryOptions{
+		TracePath:    filepath.Join(dir, "trace.jsonl"),
+		MetricsPath:  filepath.Join(dir, "metrics.prom"),
+		ManifestPath: filepath.Join(dir, "run.json"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	study, err := webmm.NewStudy(
+		webmm.WithScale(1024),
+		webmm.WithRounds(1, 1),
+		webmm.WithTelemetry(tel),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := study.RunExperiment(webmm.ExpFig1); err != nil {
+		log.Fatal(err)
+	}
+	if err := study.Close(); err != nil { // writes manifest, flushes files
+		log.Fatal(err)
+	}
+}

@@ -14,30 +14,40 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"webmm"
 )
 
 func main() {
-	cfg := webmm.DefaultStudyConfig()
-	cfg.Scale = 64 // keep the example snappy; shapes survive scaling
-	study := webmm.NewStudy(cfg)
+	const scale = 64 // keep the example snappy; shapes survive scaling
+	study, err := webmm.NewStudy(webmm.WithScale(scale))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	const wl = "MediaWiki(ro)"
-	fmt.Printf("MediaWiki (read-only), simulated 8-core Xeon, scale 1/%d\n\n", cfg.Scale)
+	fmt.Printf("MediaWiki (read-only), simulated 8-core Xeon, scale 1/%d\n\n", scale)
 
 	table := webmm.NewReportTable("", "allocator", "txns/sec", "vs default",
 		"alloc CPU share", "bus util")
-	base := study.RunCell("xeon", "default", wl, 8)
-	for _, alloc := range []string{"default", "region", "ddmalloc"} {
-		res := study.RunCell("xeon", alloc, wl, 8)
+	base, err := study.Cell(webmm.CellSpec{Alloc: webmm.AllocDefault, Workload: wl})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, alloc := range []webmm.AllocatorName{webmm.AllocDefault, webmm.AllocRegion, webmm.AllocDDmalloc} {
+		out, err := study.Cell(webmm.CellSpec{Alloc: alloc, Workload: wl})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := out.Machine
 		mmShare := 0.0
 		if total := res.CyclesPerTxn(); total > 0 {
 			mmShare = res.ClassCyclesPerTxn(0) / total // class 0 = memory management
 		}
-		table.Add(alloc,
+		table.Add(string(alloc),
 			fmt.Sprintf("%.1f", res.Throughput),
-			fmt.Sprintf("%+.1f%%", (res.Throughput/base.Throughput-1)*100),
+			fmt.Sprintf("%+.1f%%", (res.Throughput/base.Machine.Throughput-1)*100),
 			fmt.Sprintf("%.1f%%", mmShare*100),
 			fmt.Sprintf("%.1f%%", res.BusUtil*100))
 	}

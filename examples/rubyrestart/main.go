@@ -9,25 +9,41 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"webmm"
 )
 
 func main() {
-	cfg := webmm.DefaultStudyConfig()
-	cfg.Scale = 64
-	study := webmm.NewStudy(cfg)
+	const scale = 64
+	study, err := webmm.NewStudy(webmm.WithScale(scale))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rails := func(alloc webmm.AllocatorName, restartEvery int) webmm.MachineResult {
+		out, err := study.Cell(webmm.CellSpec{
+			Alloc: alloc, Ruby: true, RestartEvery: restartEvery,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return out.Machine
+	}
 
-	fmt.Printf("Ruby on Rails, simulated 8-core Xeon, scale 1/%d\n\n", cfg.Scale)
+	fmt.Printf("Ruby on Rails, simulated 8-core Xeon, scale 1/%d\n\n", scale)
 
 	// Figure 10 in miniature: allocator comparison with the paper's
-	// restart-every-500-transactions configuration.
+	// restart-every-500-transactions configuration (CellSpec takes the
+	// paper-scale period; the study rescales it for us).
+	const restart = 500
 	t := webmm.NewReportTable("Allocator comparison (restart every 500 txns)",
 		"allocator", "txns/sec", "vs glibc")
-	base := study.RunRubyCell("glibc", 500)
-	for _, alloc := range []string{"glibc", "hoard", "tcmalloc", "ddmalloc"} {
-		res := study.RunRubyCell(alloc, 500)
-		t.Add(alloc, fmt.Sprintf("%.1f", res.Throughput),
+	base := rails(webmm.AllocGlibc, restart)
+	for _, alloc := range []webmm.AllocatorName{
+		webmm.AllocGlibc, webmm.AllocHoard, webmm.AllocTCMalloc, webmm.AllocDDmalloc,
+	} {
+		res := rails(alloc, restart)
+		t.Add(string(alloc), fmt.Sprintf("%.1f", res.Throughput),
 			fmt.Sprintf("%+.1f%%", (res.Throughput/base.Throughput-1)*100))
 	}
 	fmt.Println(t.String())
@@ -36,7 +52,7 @@ func main() {
 	t2 := webmm.NewReportTable("DDmalloc restart-period sweep",
 		"restart period", "txns/sec")
 	for _, period := range []int{20, 100, 500, 0} {
-		res := study.RunRubyCell("ddmalloc", period)
+		res := rails(webmm.AllocDDmalloc, period)
 		label := "no restart"
 		if period > 0 {
 			label = fmt.Sprintf("every %d", period)

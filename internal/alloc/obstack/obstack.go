@@ -93,6 +93,7 @@ func (a *Allocator) Malloc(size uint64) heap.Ptr {
 	if size == 0 {
 		size = 1
 	}
+	a.env.RecordAlloc(size)
 	a.stats.Mallocs++
 	a.stats.BytesRequested += size
 	rounded := (size + 7) &^ 7

@@ -282,6 +282,7 @@ func (a *Allocator) Malloc(size uint64) heap.Ptr {
 	if size == 0 {
 		size = 1
 	}
+	a.env.RecordAlloc(size)
 	a.stats.Mallocs++
 	a.stats.BytesRequested += size
 	trueSize := (size + headerSize + 7) &^ 7

@@ -31,10 +31,95 @@ type AllocOptions struct {
 	PID int
 }
 
+// AllocatorDesc describes one allocator of the study: its report name (used
+// by the CLI, the figures, and the public API), which study it belongs to,
+// a one-line description, and its constructor.
+type AllocatorDesc struct {
+	Name string
+	// Study is "php" for the PHP comparison (Figures 1, 5-9), "ruby" for
+	// the Rails comparison (Figures 10-12), or "extra" for allocators
+	// available to cell runs but not part of a headline figure.
+	Study string
+	Doc   string
+	New   func(env *sim.Env, opts AllocOptions) heap.Allocator
+}
+
+// allocators is the single source of truth for allocator selection,
+// PHP-study allocators first (report order).
+var allocators = []AllocatorDesc{
+	{
+		Name: "default", Study: "php",
+		Doc: "PHP's Zend-style per-request allocator (free lists, freeAll at request end)",
+		New: func(env *sim.Env, _ AllocOptions) heap.Allocator { return zend.New(env) },
+	},
+	{
+		Name: "region", Study: "php",
+		Doc: "region-based bump allocation; memory reclaimed wholesale per request",
+		New: func(env *sim.Env, _ AllocOptions) heap.Allocator { return region.New(env) },
+	},
+	{
+		Name: "ddmalloc", Study: "php",
+		Doc: "the paper's DDmalloc: size-class free lists with the locality optimizations of §3.3",
+		New: func(env *sim.Env, opts AllocOptions) heap.Allocator {
+			ddOpts := core.DefaultOptions()
+			ddOpts.LargePages = opts.LargePages
+			ddOpts.PID = opts.PID
+			return core.New(env, ddOpts)
+		},
+	},
+	{
+		Name: "obstack", Study: "extra",
+		Doc: "GNU obstack-style stack allocator (LIFO frees only)",
+		New: func(env *sim.Env, _ AllocOptions) heap.Allocator { return obstack.New(env, 0) },
+	},
+	{
+		Name: "reap", Study: "extra",
+		Doc: "Reap-style hybrid of region allocation with individual frees",
+		New: func(env *sim.Env, _ AllocOptions) heap.Allocator { return reap.New(env) },
+	},
+	{
+		Name: "glibc", Study: "ruby",
+		Doc: "dlmalloc-style general-purpose allocator (glibc's malloc lineage)",
+		New: func(env *sim.Env, _ AllocOptions) heap.Allocator { return dlm.New(env) },
+	},
+	{
+		Name: "hoard", Study: "ruby",
+		Doc: "Hoard-style allocator with per-processor heaps",
+		New: func(env *sim.Env, _ AllocOptions) heap.Allocator { return hoard.New(env) },
+	},
+	{
+		Name: "tcmalloc", Study: "ruby",
+		Doc: "thread-caching malloc with central spans and per-thread free lists",
+		New: func(env *sim.Env, _ AllocOptions) heap.Allocator { return tcm.New(env) },
+	},
+}
+
+// Allocators returns the allocator descriptors in report order. The slice is
+// a copy; the registry itself is immutable.
+func Allocators() []AllocatorDesc {
+	out := make([]AllocatorDesc, len(allocators))
+	copy(out, allocators)
+	return out
+}
+
+// AllocatorByName looks an allocator up by report name.
+func AllocatorByName(name string) (AllocatorDesc, error) {
+	for _, d := range allocators {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return AllocatorDesc{}, fmt.Errorf("apprt: unknown allocator %q (valid: %v)", name, AllocatorNames())
+}
+
 // AllocatorNames lists the valid names for NewAllocator, PHP-study
 // allocators first.
 func AllocatorNames() []string {
-	return []string{"default", "region", "ddmalloc", "obstack", "reap", "glibc", "hoard", "tcmalloc"}
+	out := make([]string, len(allocators))
+	for i, d := range allocators {
+		out[i] = d.Name
+	}
+	return out
 }
 
 // AllocCodeSize returns the simulated code footprint of the named
@@ -52,27 +137,9 @@ func AllocCodeSize(name string) (uint64, error) {
 
 // NewAllocator constructs an allocator by report name.
 func NewAllocator(name string, env *sim.Env, opts AllocOptions) (heap.Allocator, error) {
-	switch name {
-	case "default":
-		return zend.New(env), nil
-	case "region":
-		return region.New(env), nil
-	case "ddmalloc":
-		ddOpts := core.DefaultOptions()
-		ddOpts.LargePages = opts.LargePages
-		ddOpts.PID = opts.PID
-		return core.New(env, ddOpts), nil
-	case "obstack":
-		return obstack.New(env, 0), nil
-	case "reap":
-		return reap.New(env), nil
-	case "glibc":
-		return dlm.New(env), nil
-	case "hoard":
-		return hoard.New(env), nil
-	case "tcmalloc":
-		return tcm.New(env), nil
-	default:
-		return nil, fmt.Errorf("apprt: unknown allocator %q (valid: %v)", name, AllocatorNames())
+	d, err := AllocatorByName(name)
+	if err != nil {
+		return nil, err
 	}
+	return d.New(env, opts), nil
 }

@@ -252,6 +252,7 @@ func (d *DDmalloc) Malloc(size uint64) heap.Ptr {
 	if size == 0 {
 		size = 1
 	}
+	d.env.RecordAlloc(size)
 	d.stats.Mallocs++
 	d.stats.BytesRequested += size
 	if d.isLarge(size) {

@@ -58,6 +58,27 @@ func (c *Counters) Add(o Counters) {
 	c.BusPf += o.BusPf
 }
 
+// Sub subtracts o from c, for deltas between two snapshots of cumulative
+// counters. o must be an earlier snapshot of the same counters.
+func (c *Counters) Sub(o Counters) {
+	c.Instr -= o.Instr
+	c.L1IAcc -= o.L1IAcc
+	c.L1IMiss -= o.L1IMiss
+	c.L1DAcc -= o.L1DAcc
+	c.L1DMiss -= o.L1DMiss
+	c.TLBMiss -= o.TLBMiss
+	c.L2HitRd -= o.L2HitRd
+	c.L2HitWr -= o.L2HitWr
+	c.L2MissRd -= o.L2MissRd
+	c.L2MissWr -= o.L2MissWr
+	c.L2HitIF -= o.L2HitIF
+	c.L2MissIF -= o.L2MissIF
+	c.PfHit -= o.PfHit
+	c.BusRead -= o.BusRead
+	c.BusWrite -= o.BusWrite
+	c.BusPf -= o.BusPf
+}
+
 // BusTxns returns the total bus transactions (Figure 8's rightmost bar).
 func (c Counters) BusTxns() uint64 { return c.BusRead + c.BusWrite + c.BusPf }
 

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const (
+	expBegin = "<!-- BEGIN GENERATED EXPERIMENTS -->\n"
+	expEnd   = "<!-- END GENERATED EXPERIMENTS -->"
+)
+
+// TestExperimentsMarkdownInSync pins the generated experiment catalogue in
+// EXPERIMENTS.md to the registry: editing one without the other fails here.
+// Regenerate the committed section with -update.
+func TestExperimentsMarkdownInSync(t *testing.T) {
+	path := filepath.Join("..", "..", "EXPERIMENTS.md")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	begin := strings.Index(doc, expBegin)
+	end := strings.Index(doc, expEnd)
+	if begin < 0 || end < 0 || end < begin {
+		t.Fatalf("EXPERIMENTS.md is missing the generated-catalogue markers %q ... %q",
+			strings.TrimSpace(expBegin), expEnd)
+	}
+	want := ExperimentsMarkdown()
+	got := doc[begin+len(expBegin) : end]
+	if got == want {
+		return
+	}
+	if *update {
+		out := doc[:begin+len(expBegin)] + want + doc[end:]
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	t.Errorf("EXPERIMENTS.md catalogue out of sync with the registry (run with -update):\ncommitted:\n%s\nregistry:\n%s",
+		got, want)
+}
+
+// TestUsageExperimentsCoversRegistry is a cheap guard that the -h text
+// renders one line per experiment plus the two pseudo-experiments.
+func TestUsageExperimentsCoversRegistry(t *testing.T) {
+	usage := UsageExperiments()
+	lines := strings.Count(usage, "\n")
+	if want := len(ExperimentNames()) + 2; lines != want {
+		t.Errorf("usage text has %d lines, want %d:\n%s", lines, want, usage)
+	}
+	for _, name := range ExperimentNames() {
+		if !strings.Contains(usage, name) {
+			t.Errorf("usage text missing experiment %q", name)
+		}
+	}
+}

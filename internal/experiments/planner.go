@@ -124,41 +124,3 @@ func (r *Runner) Fig12Cells() []Cell {
 	}
 	return out
 }
-
-// CellsFor returns the cell plan of the named experiment ("fig5",
-// "table4", ..., or "all" for the union), or nil for experiments that
-// simulate nothing (table2) and unknown names.
-func (r *Runner) CellsFor(name string) []Cell {
-	switch name {
-	case "fig1":
-		return r.Fig1Cells()
-	case "table3":
-		return r.Table3Cells()
-	case "fig5":
-		return r.Fig5Cells()
-	case "fig6":
-		return r.Fig6Cells()
-	case "fig7":
-		return r.Fig7Cells()
-	case "table4":
-		return r.Table4Cells()
-	case "fig8":
-		return r.Fig8Cells()
-	case "fig9":
-		return r.Fig9Cells()
-	case "fig10":
-		return r.Fig10Cells()
-	case "fig11":
-		return r.Fig11Cells()
-	case "fig12":
-		return r.Fig12Cells()
-	case "all":
-		var out []Cell
-		for _, n := range []string{"fig1", "table3", "fig5", "fig6", "fig7",
-			"table4", "fig8", "fig9", "fig10", "fig11", "fig12"} {
-			out = append(out, r.CellsFor(n)...)
-		}
-		return out
-	}
-	return nil
-}

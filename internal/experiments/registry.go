@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"webmm/internal/report"
+)
+
+// Output is everything one experiment renders: one or more tables, plus
+// optional bar charts (shown by the CLI in table mode only).
+type Output struct {
+	Tables []*report.Table
+	Charts []*report.Chart
+}
+
+// Descriptor describes one experiment of the paper's evaluation. The
+// registry below is the single source of truth for experiment selection:
+// the CLI's -exp flag, its usage text, the generated EXPERIMENTS.md section,
+// and the public webmm API all enumerate it rather than keeping their own
+// name lists.
+type Descriptor struct {
+	// Name is the selection key, e.g. "fig5".
+	Name string
+	// Ref is the paper artifact it reproduces, e.g. "Figure 5".
+	Ref string
+	// Doc is a one-line description of what the experiment shows.
+	Doc string
+	// Example is a one-line CLI invocation.
+	Example string
+	// Cells enumerates the experiment's simulation plan without
+	// simulating (nil-safe: some experiments, like Table 2, simulate
+	// nothing).
+	Cells func(r *Runner) []Cell
+	// Run simulates (via the memoizing Runner) and renders.
+	Run func(r *Runner) Output
+}
+
+func tables(ts ...*report.Table) Output { return Output{Tables: ts} }
+
+// registry lists the experiments in the paper's reporting order.
+var registry = []Descriptor{
+	{
+		Name: "fig1", Ref: "Figure 1",
+		Doc:     "normalized CPU time per transaction, default vs region-based (MediaWiki rw, 8 Xeon cores)",
+		Example: "webmm -exp fig1 -scale 8",
+		Cells:   (*Runner).Fig1Cells,
+		Run:     func(r *Runner) Output { return tables(Fig1(r).Table()) },
+	},
+	{
+		Name: "table2", Ref: "Table 2",
+		Doc:     "the workloads used in the measurements (no simulation)",
+		Example: "webmm -exp table2",
+		Run:     func(r *Runner) Output { return tables(Table2()) },
+	},
+	{
+		Name: "table3", Ref: "Table 3",
+		Doc:     "allocator calls per transaction and mean allocation size, per workload",
+		Example: "webmm -exp table3 -scale 8",
+		Cells:   (*Runner).Table3Cells,
+		Run:     func(r *Runner) Output { return tables(Table3Table(Table3(r))) },
+	},
+	{
+		Name: "fig5", Ref: "Figure 5",
+		Doc:     "relative throughput over the default allocator, all workloads, 8 cores, both platforms",
+		Example: "webmm -exp fig5 -jobs 8",
+		Cells:   (*Runner).Fig5Cells,
+		Run: func(r *Runner) Output {
+			entries := Fig5(r)
+			out := tables(Fig5Table(entries))
+			for _, plat := range []string{"xeon", "niagara"} {
+				ch := report.NewChart(fmt.Sprintf("Relative throughput on %s (| = default)", plat))
+				ch.SetBaseline(1.0)
+				for _, e := range entries {
+					if e.Platform == plat {
+						ch.Add(e.Workload+" region", e.Region)
+						ch.Add(e.Workload+" DDmalloc", e.DD)
+					}
+				}
+				out.Charts = append(out.Charts, ch)
+			}
+			return out
+		},
+	},
+	{
+		Name: "fig6", Ref: "Figure 6",
+		Doc:     "CPU time per transaction broken into memory management and others, 8 Xeon cores",
+		Example: "webmm -exp fig6 -jobs 8",
+		Cells:   (*Runner).Fig6Cells,
+		Run:     func(r *Runner) Output { return tables(Fig6Table(Fig6(r))) },
+	},
+	{
+		Name: "fig7", Ref: "Figure 7",
+		Doc:     "MediaWiki (read-only) throughput scaling with core count, both platforms",
+		Example: "webmm -exp fig7 -jobs 8",
+		Cells:   (*Runner).Fig7Cells,
+		Run: func(r *Runner) Output {
+			points := Fig7(r)
+			out := tables(Fig7Table(points))
+			for _, plat := range []string{"xeon", "niagara"} {
+				ch := report.NewChart(fmt.Sprintf("MediaWiki(ro) on %s, txns/sec by cores", plat))
+				for _, p := range points {
+					if p.Platform == plat {
+						ch.Add(fmt.Sprintf("%-8s @%d", p.Alloc, p.Cores), p.Throughput)
+					}
+				}
+				out.Charts = append(out.Charts, ch)
+			}
+			return out
+		},
+	},
+	{
+		Name: "table4", Ref: "Table 4",
+		Doc:     "1- and 8-core throughput and speedups for every workload, allocator, and platform",
+		Example: "webmm -exp table4 -jobs 8 -cellcache .webmm-cache",
+		Cells:   (*Runner).Table4Cells,
+		Run:     func(r *Runner) Output { return tables(Table4Table(Table4(r))) },
+	},
+	{
+		Name: "fig8", Ref: "Figure 8",
+		Doc:     "change in hardware events per transaction vs the default allocator, 8 cores",
+		Example: "webmm -exp fig8 -jobs 8",
+		Cells:   (*Runner).Fig8Cells,
+		Run:     func(r *Runner) Output { return tables(Fig8Table(Fig8(r))) },
+	},
+	{
+		Name: "fig9", Ref: "Figure 9",
+		Doc:     "memory consumed per transaction, per workload and allocator",
+		Example: "webmm -exp fig9",
+		Cells:   (*Runner).Fig9Cells,
+		Run:     func(r *Runner) Output { return tables(Fig9Table(Fig9(r))) },
+	},
+	{
+		Name: "fig10", Ref: "Figure 10",
+		Doc:     "Rails throughput under glibc, Hoard, TCMalloc and DDmalloc with periodic restarts",
+		Example: "webmm -exp fig10",
+		Cells:   (*Runner).Fig10Cells,
+		Run:     func(r *Runner) Output { return tables(Fig10Table(Fig10(r))) },
+	},
+	{
+		Name: "fig11", Ref: "Figure 11",
+		Doc:     "Rails CPU time breakdown (memory management, restart, others)",
+		Example: "webmm -exp fig11",
+		Cells:   (*Runner).Fig11Cells,
+		Run:     func(r *Runner) Output { return tables(Fig11Table(Fig11(r))) },
+	},
+	{
+		Name: "fig12", Ref: "Figure 12",
+		Doc:     "Rails throughput vs process restart period, glibc and DDmalloc",
+		Example: "webmm -exp fig12",
+		Cells:   (*Runner).Fig12Cells,
+		Run:     func(r *Runner) Output { return tables(Fig12Table(Fig12(r))) },
+	},
+}
+
+// Experiments returns the experiment descriptors in the paper's reporting
+// order. The slice is a copy; the registry itself is immutable.
+func Experiments() []Descriptor {
+	out := make([]Descriptor, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ExperimentByName looks an experiment up by its selection key.
+func ExperimentByName(name string) (Descriptor, error) {
+	for _, d := range registry {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Descriptor{}, fmt.Errorf("experiments: unknown experiment %q (valid: %s, all, cell)",
+		name, strings.Join(ExperimentNames(), ", "))
+}
+
+// ExperimentNames lists the registered experiment names in order.
+func ExperimentNames() []string {
+	out := make([]string, len(registry))
+	for i, d := range registry {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// CellsFor returns the cell plan of the named experiment, or nil for
+// experiments that simulate nothing (table2) and unknown names. "all"
+// returns the union of every plan (duplicates included; RunAll dedups).
+func (r *Runner) CellsFor(name string) []Cell {
+	if name == "all" {
+		var out []Cell
+		for _, d := range registry {
+			if d.Cells != nil {
+				out = append(out, d.Cells(r)...)
+			}
+		}
+		return out
+	}
+	d, err := ExperimentByName(name)
+	if err != nil || d.Cells == nil {
+		return nil
+	}
+	return d.Cells(r)
+}
+
+// ExperimentsMarkdown renders the registry as the generated experiment
+// catalogue of EXPERIMENTS.md (one table row per experiment, with the
+// one-line example invocations). A docs test keeps the committed file in
+// sync with this output.
+func ExperimentsMarkdown() string {
+	var b strings.Builder
+	b.WriteString("| name | reproduces | what it shows | example |\n")
+	b.WriteString("|------|------------|---------------|---------|\n")
+	for _, d := range registry {
+		fmt.Fprintf(&b, "| %s | %s | %s | `%s` |\n", d.Name, d.Ref, d.Doc, d.Example)
+	}
+	return b.String()
+}
+
+// UsageExperiments renders the experiment list for the CLI's -h output,
+// sorted lists aside, in registry order.
+func UsageExperiments() string {
+	var b strings.Builder
+	for _, d := range registry {
+		fmt.Fprintf(&b, "  %-7s %s: %s\n", d.Name, d.Ref, d.Doc)
+	}
+	b.WriteString("  all     every experiment above, in order\n")
+	b.WriteString("  cell    one (platform, allocator, workload, cores) cell; see -platform/-alloc/-workload/-cores\n")
+	return b.String()
+}

@@ -25,6 +25,12 @@ func (r *Runner) rubyRestart(period int) int {
 	return p
 }
 
+// RubyRestartPeriod converts a restart period expressed in the paper's
+// full-scale transactions into this runner's scaled Cell.RestartEvery value
+// (0 stays 0, meaning no restarts). The public Study API accepts paper-scale
+// periods and converts through here.
+func (r *Runner) RubyRestartPeriod(period int) int { return r.rubyRestart(period) }
+
 // ---------------------------------------------------------------------------
 // Figure 10: Rails throughput under glibc, Hoard, TCmalloc and DDmalloc on
 // 8 Xeon cores.

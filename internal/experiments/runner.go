@@ -13,7 +13,9 @@ import (
 	"hash/fnv"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"webmm/internal/apprt"
@@ -21,6 +23,7 @@ import (
 	"webmm/internal/machine"
 	"webmm/internal/mem"
 	"webmm/internal/sim"
+	"webmm/internal/telemetry"
 	"webmm/internal/workload"
 )
 
@@ -153,11 +156,31 @@ type Runner struct {
 	Timeout time.Duration
 	// Ctx, when non-nil, cancels in-flight and future cells when done.
 	Ctx context.Context
+	// Tel is the observability layer. The default telemetry.Nop adds no
+	// allocations to the simulation paths; a live session traces every
+	// cell as a span tree, feeds the metrics registry, and profiles
+	// allocation size classes. Telemetry only observes — it never touches
+	// simulation randomness — so results are bit-identical either way.
+	Tel *telemetry.Telemetry
 
 	mu       sync.Mutex
 	cells    map[Cell]CellResult
 	inflight map[Cell]*inflightCell
 	failures []*CellError
+
+	// Per-cell execution accounting for the run manifest. Kept regardless
+	// of telemetry (a map write per simulated cell) so a manifest can be
+	// assembled after the fact.
+	accounts  map[Cell]cellAccount
+	cacheHits, cacheMisses,
+	memoHits uint64
+	faultsOOM, faultsPanic atomic.Uint64
+}
+
+// cellAccount records how one cell was executed (not what it computed).
+type cellAccount struct {
+	wallMS float64
+	cached bool
 }
 
 // inflightCell tracks one in-progress simulation so racing callers wait for
@@ -176,6 +199,7 @@ func NewRunner(cfg Config) *Runner {
 		Cfg:      cfg,
 		cells:    make(map[Cell]CellResult),
 		inflight: make(map[Cell]*inflightCell),
+		accounts: make(map[Cell]cellAccount),
 	}
 }
 
@@ -198,7 +222,10 @@ type footprinter interface {
 func (r *Runner) Run(c Cell) CellResult {
 	r.mu.Lock()
 	if got, ok := r.cells[c]; ok {
+		r.memoHits++
 		r.mu.Unlock()
+		r.Tel.Metrics().Counter("webmm_memo_hits_total",
+			"Run calls served from the in-process memo", nil).Inc()
 		return got
 	}
 	if fl, ok := r.inflight[c]; ok {
@@ -210,19 +237,28 @@ func (r *Runner) Run(c Cell) CellResult {
 	r.inflight[c] = fl
 	r.mu.Unlock()
 
+	span := r.Tel.Tracer().StartSpan("cell "+cellKey(c), "cell")
+	span.Arg("platform", c.Platform)
+	span.Arg("alloc", c.Alloc)
+	span.Arg("workload", c.Workload)
+	span.Arg("cores", c.Cores)
+	start := time.Now()
+
 	// An active fault plan bypasses the cache in both directions:
 	// perturbed results must not poison it and clean entries must not
 	// mask the faults.
 	useCache := !r.Faults.Active()
 	var out CellResult
 	cached := false
+	attempts := 0
 	if useCache {
 		out, cached = r.Cache.load(r.Cfg, c)
 	}
 	if !cached {
-		res, cerr := r.runCell(c)
+		res, cerr := r.runCell(c, span)
 		if cerr != nil {
 			out = CellResult{Cell: c, Failed: true}
+			attempts = cerr.Attempts
 			r.mu.Lock()
 			r.failures = append(r.failures, cerr)
 			r.mu.Unlock()
@@ -237,14 +273,55 @@ func (r *Runner) Run(c Cell) CellResult {
 			}
 		}
 	}
+	wall := time.Since(start)
 
 	fl.res = out
 	r.mu.Lock()
 	r.cells[c] = out
+	r.accounts[c] = cellAccount{wallMS: float64(wall.Nanoseconds()) / 1e6, cached: cached}
+	if useCache && r.Cache != nil {
+		if cached {
+			r.cacheHits++
+		} else {
+			r.cacheMisses++
+		}
+	}
 	delete(r.inflight, c)
 	r.mu.Unlock()
 	close(fl.done)
+
+	span.Arg("cached", cached)
+	span.Arg("failed", out.Failed)
+	if attempts > 0 {
+		span.Arg("attempts", attempts)
+	}
+	span.End()
+	if met := r.Tel.Metrics(); met != nil {
+		met.Counter("webmm_cells_total", "cells resolved (simulated, cached, or failed)", nil).Inc()
+		if out.Failed {
+			met.Counter("webmm_cells_failed_total", "cells whose simulation failed", nil).Inc()
+		}
+		if useCache && r.Cache != nil {
+			if cached {
+				met.Counter("webmm_cache_hits_total", "cells served from the disk cell cache", nil).Inc()
+			} else {
+				met.Counter("webmm_cache_misses_total", "cells missing from the disk cell cache", nil).Inc()
+			}
+		}
+		met.Histogram("webmm_cell_seconds", "wall time per resolved cell",
+			[]float64{0.001, 0.01, 0.1, 1, 10, 60, 600}, nil).Observe(wall.Seconds())
+	}
 	return out
+}
+
+// cellKey renders a cell as the compact path used in span names and failure
+// reports.
+func cellKey(c Cell) string {
+	k := fmt.Sprintf("%s/%s/%s/%d", c.Platform, c.Alloc, c.Workload, c.Cores)
+	if c.Ruby {
+		k += fmt.Sprintf("/ruby:%d", c.RestartEvery)
+	}
+	return k
 }
 
 // Failures returns the cells that failed so far, in failure order.
@@ -256,15 +333,137 @@ func (r *Runner) Failures() []*CellError {
 	return out
 }
 
+// classLabels are the short per-class metric label values, indexed by
+// sim.Class.
+var classLabels = [sim.NumClasses]string{
+	sim.ClassAlloc: "mm", sim.ClassApp: "app", sim.ClassOS: "os",
+}
+
+// attachTelemetry wires a freshly built machine into the telemetry layer:
+// every stream Env reports allocation sizes to the shared profile, and the
+// machine's round sampler feeds per-class counters to the metrics registry
+// and, when tracing, per-round counter tracks under the cell's span. With
+// telemetry disabled the machine is left untouched.
+func (r *Runner) attachTelemetry(m *machine.Machine, plat machine.Platform, span *telemetry.Span) {
+	if !r.Tel.Enabled() {
+		return
+	}
+	if ap := r.Tel.AllocSizes(); ap != nil {
+		for _, s := range m.Streams() {
+			s.Env.AllocRec = ap
+		}
+	}
+	// Resolve the per-class instruments once per cell so the sampler body
+	// does atomic adds, not registry lookups.
+	met := r.Tel.Metrics()
+	var instr, l2miss [sim.NumClasses]*telemetry.Counter
+	for cls := 0; cls < sim.NumClasses; cls++ {
+		lbl := telemetry.Labels{"class": classLabels[cls]}
+		instr[cls] = met.Counter("webmm_class_instr_total",
+			"retired instructions by event class over measured rounds", lbl)
+		l2miss[cls] = met.Counter("webmm_class_l2_miss_total",
+			"demand L2 misses by event class over measured rounds", lbl)
+	}
+	tr := r.Tel.Tracer()
+	tid := span.TID()
+	cores := m.NCores
+	m.Sampler = func(s machine.RoundSample) {
+		if !s.Measuring {
+			return
+		}
+		for cls := 0; cls < sim.NumClasses; cls++ {
+			instr[cls].Add(s.ByClass[cls].Instr)
+			l2miss[cls].Add(s.ByClass[cls].L2Miss())
+		}
+		if tr == nil {
+			return
+		}
+		// Per-round attribution tracks: the single-stream cycle estimate
+		// (bus contention is not yet solved at sampling time, so the
+		// multiplier is 1) and the demand L2 misses, both by class.
+		cyc := make(map[string]float64, sim.NumClasses)
+		miss := make(map[string]float64, sim.NumClasses)
+		for cls := 0; cls < sim.NumClasses; cls++ {
+			d := s.ByClass[cls]
+			cyc[classLabels[cls]] = plat.Core.InstrCycles(d) + plat.Core.StallCycles(d, 1.0, cores)
+			miss[classLabels[cls]] = float64(d.L2Miss())
+		}
+		tr.Counter(tid, "cycles (est)", cyc)
+		tr.Counter(tid, "l2 misses", miss)
+	}
+}
+
+// BuildManifest assembles the run manifest from the runner's accounting:
+// every resolved cell with its wall time, cache provenance and headline
+// numbers, the cache and memo hit counts, and the failure reports. Cells and
+// failures are sorted by cell key so the manifest is deterministic under
+// parallel fan-out. The caller owns the CLI-level Config fields the runner
+// cannot see (Jobs, Faults, Timeout, CellCacheDir) and the wall-clock Stamp.
+func (r *Runner) BuildManifest(experiments []string) *telemetry.Manifest {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cells := make([]Cell, 0, len(r.cells))
+	for c := range r.cells {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool { return cellKey(cells[i]) < cellKey(cells[j]) })
+
+	m := &telemetry.Manifest{
+		Tool:          "webmm",
+		FormatVersion: telemetry.ManifestFormatVersion,
+		SimVersion:    cellCacheVersion,
+		GoVersion:     runtime.Version(),
+		Config: telemetry.ManifestConfig{
+			Scale:          r.Cfg.Scale,
+			Warmup:         r.Cfg.Warmup,
+			Measure:        r.Cfg.Measure,
+			Seed:           r.Cfg.Seed,
+			XeonLargePages: r.Cfg.XeonLargePages,
+		},
+		Experiments: experiments,
+		Cells:       make([]telemetry.ManifestCell, 0, len(cells)),
+		CacheHits:   r.cacheHits,
+		CacheMisses: r.cacheMisses,
+		MemoHits:    r.memoHits,
+	}
+	if total := r.cacheHits + r.cacheMisses; total > 0 {
+		m.CacheHitRatio = float64(r.cacheHits) / float64(total)
+	}
+	for _, c := range cells {
+		res := r.cells[c]
+		acct := r.accounts[c]
+		m.Cells = append(m.Cells, telemetry.ManifestCell{
+			Platform:     c.Platform,
+			Alloc:        c.Alloc,
+			Workload:     c.Workload,
+			Cores:        c.Cores,
+			Ruby:         c.Ruby,
+			RestartEvery: c.RestartEvery,
+			WallMS:       acct.wallMS,
+			Cached:       acct.cached,
+			Failed:       res.Failed,
+			Throughput:   res.Res.Throughput,
+			Txns:         res.Res.Txns,
+		})
+	}
+	for _, fe := range r.failures {
+		m.Failures = append(m.Failures, telemetry.ManifestFailure{
+			Cell: cellKey(fe.Cell), Error: fe.Err.Error(), Attempts: fe.Attempts,
+		})
+	}
+	sort.Slice(m.Failures, func(i, j int) bool { return m.Failures[i].Cell < m.Failures[j].Cell })
+	return m
+}
+
 // runCell runs one cell with panic isolation, retrying once when the
 // failure was a recovered panic (possibly transient under random fault
 // injection). Timeouts, cancellation, and configuration errors are
 // deterministic and not retried.
-func (r *Runner) runCell(c Cell) (CellResult, *CellError) {
+func (r *Runner) runCell(c Cell, span *telemetry.Span) (CellResult, *CellError) {
 	var lastErr error
 	var stack []byte
 	for attempt := 0; attempt < 2; attempt++ {
-		out, err := r.simulateGuarded(c, attempt)
+		out, err := r.simulateGuarded(c, attempt, span)
 		if err == nil {
 			return out, nil
 		}
@@ -281,14 +480,14 @@ func (r *Runner) runCell(c Cell) (CellResult, *CellError) {
 // simulateGuarded runs simulate with panics recovered into errors and, when
 // a Timeout or Ctx is configured, a watchdog that abandons the simulation
 // goroutine rather than letting one wedged cell stall the whole plan.
-func (r *Runner) simulateGuarded(c Cell, attempt int) (CellResult, error) {
+func (r *Runner) simulateGuarded(c Cell, attempt int, span *telemetry.Span) (CellResult, error) {
 	run := func() (out CellResult, err error) {
 		defer func() {
 			if p := recover(); p != nil {
 				err = &panicError{val: p, stack: debug.Stack()}
 			}
 		}()
-		return r.simulate(c, attempt)
+		return r.simulate(c, attempt, span)
 	}
 	if r.Timeout <= 0 && r.Ctx == nil {
 		return run()
@@ -388,25 +587,32 @@ func (r *Runner) RunAll(cells []Cell, jobs int) []CellResult {
 // the (immutable) Cfg and Faults, which is what makes parallel fan-out
 // safe. attempt distinguishes the retry's fault-injection draws from the
 // first try's; with an empty FaultPlan it has no effect at all.
-func (r *Runner) simulate(c Cell, attempt int) (CellResult, error) {
+func (r *Runner) simulate(c Cell, attempt int, span *telemetry.Span) (CellResult, error) {
 	if r.Faults.PanicRate > 0 {
 		rng := sim.NewRNG(faultSeed(r.Cfg.Seed, c, -1, attempt))
 		if rng.Bool(r.Faults.PanicRate) {
+			r.faultsPanic.Add(1)
+			r.Tel.Metrics().Counter("webmm_faults_injected_total",
+				"deterministic fault injections by kind", telemetry.Labels{"kind": "panic"}).Inc()
 			panic(fmt.Sprintf("injected fault: cell %+v attempt %d", c, attempt))
 		}
 	}
+	construct := span.Child("construct", "phase")
 	plat, err := machine.PlatformByName(c.Platform)
 	if err != nil {
+		construct.End()
 		return CellResult{}, err
 	}
 	plat = scalePlatform(plat, r.Cfg.Scale)
 
 	prof, err := workload.ByName(c.Workload)
 	if err != nil {
+		construct.End()
 		return CellResult{}, err
 	}
 	allocCode, err := apprt.AllocCodeSize(c.Alloc)
 	if err != nil {
+		construct.End()
 		return CellResult{}, err
 	}
 	// Interpreter + compiled-script code footprint. Code size is a fixed
@@ -414,6 +620,7 @@ func (r *Runner) simulate(c Cell, attempt int) (CellResult, error) {
 	// it does not scale with the workload.
 	const appCode = 192 * mem.KiB
 	m := machine.New(plat, c.Cores, allocCode, appCode, r.Cfg.Seed)
+	r.attachTelemetry(m, plat, span)
 
 	largePages := plat.Name == "niagara" || (plat.Name == "xeon" && r.Cfg.XeonLargePages)
 	drivers := make([]machine.Driver, m.NumStreams())
@@ -424,6 +631,7 @@ func (r *Runner) simulate(c Cell, attempt int) (CellResult, error) {
 		if c.Ruby {
 			rt, err := apprt.NewRuby(s.Env, c.Alloc, prof, r.Cfg.Scale, c.RestartEvery, opts)
 			if err != nil {
+				construct.End()
 				return CellResult{}, err
 			}
 			// The restart *period* is scaled by 8/scale (see
@@ -435,6 +643,7 @@ func (r *Runner) simulate(c Cell, attempt int) (CellResult, error) {
 		} else {
 			rt, err := apprt.NewPHP(s.Env, c.Alloc, prof, r.Cfg.Scale, opts)
 			if err != nil {
+				construct.End()
 				return CellResult{}, err
 			}
 			drivers[i], fps[i], gens[i] = rt, rt, rt.Generator()
@@ -454,7 +663,13 @@ func (r *Runner) simulate(c Cell, attempt int) (CellResult, error) {
 			if rate := r.Faults.OOMRate; rate > 0 {
 				rng := sim.NewRNG(faultSeed(r.Cfg.Seed, c, i, attempt))
 				as.SetFaultInjector(func(size uint64) bool {
-					return rng.Bool(rate)
+					if !rng.Bool(rate) {
+						return false
+					}
+					r.faultsOOM.Add(1)
+					r.Tel.Metrics().Counter("webmm_faults_injected_total",
+						"deterministic fault injections by kind", telemetry.Labels{"kind": "oom"}).Inc()
+					return true
 				})
 			}
 		}
@@ -472,8 +687,11 @@ func (r *Runner) simulate(c Cell, attempt int) (CellResult, error) {
 			measure = p500 + p500/4
 		}
 	}
+	construct.End()
+	warm := span.Child("warmup", "phase")
 	m.PriceSetup()
 	m.Run(drivers, warmup, 0)
+	warm.End()
 	for _, fp := range fps {
 		fp.ResetFootprint()
 	}
@@ -481,9 +699,13 @@ func (r *Runner) simulate(c Cell, attempt int) (CellResult, error) {
 	for i, g := range gens {
 		callsBefore[i] = g.Stats()
 	}
+	meas := span.Child("measure", "phase")
 	m.Run(drivers, 0, measure)
+	meas.End()
 
+	slv := span.Child("solve", "phase")
 	res := m.Solve()
+	slv.End()
 	out := CellResult{Cell: c, Res: res}
 	var fpSum float64
 	var calls heap.Stats

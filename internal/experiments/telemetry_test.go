@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"webmm/internal/telemetry"
+	"webmm/internal/workload"
+)
+
+// smallCfg is a fast configuration for telemetry plumbing tests; golden
+// content tests use goldenCfg instead.
+func smallCfg() Config {
+	return Config{Scale: 1024, Warmup: 1, Measure: 1, Seed: 7}
+}
+
+// TestTelemetryDoesNotPerturbResults is the observation-only contract: a
+// cell simulated under full telemetry (trace + metrics + manifest) is
+// bit-identical to the same cell simulated with telemetry disabled, and the
+// three output files validate.
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	cell := phpCell("xeon", "ddmalloc", workload.MediaWikiRO().Name, 2)
+
+	base := NewRunner(smallCfg()).Run(cell)
+
+	dir := t.TempDir()
+	opts := telemetry.Options{
+		TracePath:    filepath.Join(dir, "trace.jsonl"),
+		MetricsPath:  filepath.Join(dir, "metrics.prom"),
+		ManifestPath: filepath.Join(dir, "run.json"),
+	}
+	tel, err := telemetry.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(smallCfg())
+	r.Tel = tel
+	got := r.Run(cell)
+	if !reflect.DeepEqual(base, got) {
+		t.Fatalf("telemetry perturbed the simulation:\nbase %+v\ngot  %+v", base, got)
+	}
+
+	tel.SetManifest(r.BuildManifest([]string{"cell"}))
+	if err := tel.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if n, err := telemetry.ValidateTraceFile(opts.TracePath); err != nil || n < 5 {
+		t.Errorf("trace invalid or too sparse (cell span + 4 phases): n=%d err=%v", n, err)
+	}
+	if n, err := telemetry.ValidateMetricsFile(opts.MetricsPath); err != nil || n == 0 {
+		t.Errorf("metrics invalid: n=%d err=%v", n, err)
+	}
+	man, err := telemetry.ValidateManifestFile(opts.ManifestPath)
+	if err != nil {
+		t.Fatalf("manifest invalid: %v", err)
+	}
+	if len(man.Cells) != 1 || man.Cells[0].Alloc != "ddmalloc" || man.Cells[0].Failed {
+		t.Errorf("manifest cells wrong: %+v", man.Cells)
+	}
+	if man.Cells[0].Throughput != got.Res.Throughput || man.Cells[0].Txns != got.Res.Txns {
+		t.Errorf("manifest cell numbers diverge from the runner's result: %+v vs %+v",
+			man.Cells[0], got.Res)
+	}
+
+	data, _ := os.ReadFile(opts.MetricsPath)
+	for _, want := range []string{
+		"webmm_cells_total 1",
+		`webmm_class_instr_total{class="mm"}`,
+		`webmm_alloc_sizeclass_total{bytes="`,
+		"webmm_cell_seconds_count 1",
+	} {
+		if !containsLine(string(data), want) {
+			t.Errorf("metrics missing %q:\n%s", want, data)
+		}
+	}
+}
+
+func containsLine(text, substr string) bool {
+	for i := 0; i+len(substr) <= len(text); i++ {
+		if text[i:i+len(substr)] == substr {
+			return true
+		}
+	}
+	return false
+}
+
+// TestManifestAccountsFailuresAndFaults runs a plan under an injected panic
+// storm and checks the manifest's failure accounting agrees with the
+// runner's.
+func TestManifestAccountsFailuresAndFaults(t *testing.T) {
+	r := NewRunner(smallCfg())
+	r.Faults = FaultPlan{PanicRate: 1} // every simulation attempt panics
+	cell := phpCell("xeon", "default", workload.MediaWikiRO().Name, 1)
+	res := r.Run(cell)
+	if !res.Failed {
+		t.Fatal("cell should have failed under PanicRate 1")
+	}
+	m := r.BuildManifest([]string{"cell"})
+	if len(m.Failures) != 1 || m.Failures[0].Attempts != 2 {
+		t.Fatalf("manifest failures wrong: %+v", m.Failures)
+	}
+	if !m.Cells[0].Failed {
+		t.Fatalf("manifest cell not marked failed: %+v", m.Cells[0])
+	}
+	if got := r.faultsPanic.Load(); got != 2 {
+		t.Fatalf("counted %d injected panics, want 2 (one per attempt)", got)
+	}
+}
+
+// TestManifestCacheAccounting checks the disk-cache hit/miss counts and
+// ratio recorded in the manifest.
+func TestManifestCacheAccounting(t *testing.T) {
+	dir := t.TempDir()
+	cell := phpCell("xeon", "region", workload.MediaWikiRO().Name, 1)
+
+	cache, err := NewCellCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss := NewRunner(smallCfg())
+	miss.Cache = cache
+	miss.Run(cell)
+	m := miss.BuildManifest(nil)
+	if m.CacheHits != 0 || m.CacheMisses != 1 {
+		t.Fatalf("first run: hits=%d misses=%d, want 0/1", m.CacheHits, m.CacheMisses)
+	}
+
+	cache2, err := NewCellCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := NewRunner(smallCfg())
+	hit.Cache = cache2
+	hit.Run(cell)
+	hit.Run(cell) // memoized, not a cache hit
+	m = hit.BuildManifest(nil)
+	if m.CacheHits != 1 || m.CacheMisses != 0 || m.CacheHitRatio != 1 {
+		t.Fatalf("second run: hits=%d misses=%d ratio=%g, want 1/0/1", m.CacheHits, m.CacheMisses, m.CacheHitRatio)
+	}
+	if m.MemoHits != 1 {
+		t.Fatalf("memo hits %d, want 1", m.MemoHits)
+	}
+	if !m.Cells[0].Cached {
+		t.Fatalf("manifest cell not marked cached: %+v", m.Cells[0])
+	}
+}
+
+// TestGoldenManifest locks the manifest's deterministic content: a
+// seed-fixed Figure 1 run must reproduce the committed canonical manifest
+// byte-for-byte (volatile wall-clock fields are canonicalized away).
+// Regenerate with -update after an intentional schema or simulator change.
+func TestGoldenManifest(t *testing.T) {
+	path := filepath.Join("testdata", "golden_manifest.json")
+
+	r := NewRunner(goldenCfg())
+	r.RunAll(r.CellsFor("fig1"), 1)
+	m := r.BuildManifest([]string{"fig1"}).Canonical()
+	// Toolchain version is volatile across dev machines but zeroed by
+	// Canonical; nothing else to mask.
+	data, err := m.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data) + "\n"
+
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden manifest (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("canonical manifest diverged from %s\ngot:\n%s", path, got)
+	}
+}

@@ -73,15 +73,42 @@ type l2State struct {
 	pf *cache.Prefetcher
 }
 
+// RoundSample is one pricing round's per-class hardware-counter delta,
+// delivered to a Machine's Sampler. It is the telemetry layer's window into
+// per-component cycle and miss attribution over time: each sample covers
+// exactly one round, so a consumer can plot counter traffic per round or
+// aggregate windows of any width.
+type RoundSample struct {
+	// Round numbers the samples from 0 across the machine's lifetime.
+	Round int
+	// Measuring reports whether the round was measured (post-warmup).
+	// Warmup rounds deliver zero deltas because only measured rounds
+	// accumulate counters.
+	Measuring bool
+	// ByClass is the counter delta of this round, by event class.
+	ByClass [sim.NumClasses]cpu.Counters
+}
+
 // Machine wires streams, cores, L2 clusters and the bus together and prices
 // event streams deterministically.
 type Machine struct {
 	Plat   Platform
 	NCores int
 
+	// Sampler, when non-nil, receives one RoundSample after every pricing
+	// round (Run rounds and PriceMeasured calls). The delta computation
+	// runs only when a sampler is attached, so the nil case costs one
+	// branch per round.
+	Sampler func(RoundSample)
+
 	streams []*Stream
 	cores   []*coreState
 	l2s     []*l2State
+
+	// Sampler bookkeeping: the round counter and the class totals at the
+	// previous sample, for delta computation.
+	sampleRound int
+	lastClass   [sim.NumClasses]cpu.Counters
 
 	// quantum is how many events each stream contributes per round-robin
 	// turn while pricing, approximating concurrent execution in the
@@ -175,6 +202,7 @@ func (m *Machine) PriceMeasured() {
 	}
 	m.priceRound()
 	m.measuring = false
+	m.sample(true)
 }
 
 // Run executes warmup+measure transactions on every stream. Warmup rounds
@@ -208,7 +236,31 @@ func (m *Machine) Run(drivers []Driver, warmup, measure int) {
 			}
 			m.priceRound()
 		}
+		m.sample(m.measuring)
 	}
+}
+
+// sample delivers one RoundSample — the per-class counter delta since the
+// previous sample — to the attached Sampler. With no Sampler attached, the
+// whole computation is skipped; pricing itself is untouched either way, so
+// sampling can never perturb simulation results.
+func (m *Machine) sample(measuring bool) {
+	if m.Sampler == nil {
+		return
+	}
+	var totals [sim.NumClasses]cpu.Counters
+	for _, s := range m.streams {
+		for cls := 0; cls < sim.NumClasses; cls++ {
+			totals[cls].Add(s.counters[cls])
+		}
+	}
+	out := RoundSample{Round: m.sampleRound, Measuring: measuring, ByClass: totals}
+	for cls := 0; cls < sim.NumClasses; cls++ {
+		out.ByClass[cls].Sub(m.lastClass[cls])
+	}
+	m.lastClass = totals
+	m.sampleRound++
+	m.Sampler(out)
 }
 
 // priceRound prices all buffered events, interleaving streams round-robin in

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"webmm/internal/cpu"
 	"webmm/internal/mem"
 	"webmm/internal/sim"
 )
@@ -204,6 +205,64 @@ func TestWarmupExcludedFromCounters(t *testing.T) {
 	if r.Totals.L1DMiss*50 > r.Totals.L1DAcc {
 		t.Fatalf("warmup leaked into measurement: %d misses / %d accesses",
 			r.Totals.L1DMiss, r.Totals.L1DAcc)
+	}
+}
+
+// TestSamplerDeltasAndNoPerturbation checks the telemetry hook: round
+// samples arrive once per round, their deltas sum to the measured totals,
+// and attaching a sampler leaves the solved result bit-identical.
+func TestSamplerDeltasAndNoPerturbation(t *testing.T) {
+	run := func(sampler func(RoundSample)) (Result, int) {
+		m := New(Xeon(), 2, 8*mem.KiB, 128*mem.KiB, 42)
+		m.Sampler = sampler
+		var drivers []Driver
+		for _, s := range m.Streams() {
+			drivers = append(drivers, newStreamingDriver(s.Env, 64*mem.KiB))
+		}
+		m.PriceSetup()
+		m.Run(drivers, 2, 3)
+		return m.Solve(), m.sampleRound
+	}
+
+	base, _ := run(nil)
+
+	var samples []RoundSample
+	sampled, rounds := run(func(s RoundSample) { samples = append(samples, s) })
+
+	if sampled.Throughput != base.Throughput || sampled.Totals != base.Totals {
+		t.Fatalf("sampler perturbed the simulation:\n%+v\n%+v", sampled, base)
+	}
+	if len(samples) != 5 || rounds != 5 {
+		t.Fatalf("got %d samples over %d rounds, want 5 (2 warmup + 3 measured)", len(samples), rounds)
+	}
+	var sum [sim.NumClasses]cpu.Counters
+	for i, s := range samples {
+		if s.Round != i {
+			t.Fatalf("samples[%d].Round = %d", i, s.Round)
+		}
+		wantMeasuring := i >= 2
+		if s.Measuring != wantMeasuring {
+			t.Fatalf("samples[%d].Measuring = %v", i, s.Measuring)
+		}
+		if !wantMeasuring && s.ByClass[sim.ClassApp].Instr != 0 {
+			t.Fatalf("warmup sample %d carries measured instructions", i)
+		}
+		for cls := 0; cls < sim.NumClasses; cls++ {
+			sum[cls].Add(s.ByClass[cls])
+		}
+	}
+	for cls := 0; cls < sim.NumClasses; cls++ {
+		if sum[cls].Instr != sampled.ByClass[cls].Instr {
+			t.Fatalf("class %d sample deltas sum to %d instr, Solve says %d",
+				cls, sum[cls].Instr, sampled.ByClass[cls].Instr)
+		}
+	}
+	var total cpu.Counters
+	for cls := 0; cls < sim.NumClasses; cls++ {
+		total.Add(sum[cls])
+	}
+	if total != sampled.Totals {
+		t.Fatalf("sample deltas do not sum to totals:\n%+v\n%+v", total, sampled.Totals)
 	}
 }
 

@@ -43,6 +43,13 @@ func NewCodeLayout(allocCode, appCode uint64) *CodeLayout {
 	return cl
 }
 
+// AllocRecorder observes allocator API traffic. The telemetry layer's
+// per-size-class profile implements it; sim stays free of a telemetry
+// dependency by seeing only this interface.
+type AllocRecorder interface {
+	RecordAlloc(size uint64)
+}
+
 // Env is the generation-side context handed to allocators, runtimes and
 // workloads. It records every memory access and retired instruction into a
 // buffer that the machine later prices against the cache hierarchy.
@@ -51,10 +58,22 @@ type Env struct {
 	AS *mem.AddressSpace
 	// Rand is the stream's private random source.
 	Rand RNG
+	// AllocRec, when non-nil, observes every allocation request's size.
+	// Callers must leave it nil rather than storing a nil concrete pointer:
+	// a typed nil would defeat RecordAlloc's check.
+	AllocRec AllocRecorder
 
 	code   *CodeLayout
 	events []Event
 	instr  [NumClasses]uint64
+}
+
+// RecordAlloc reports one allocation request of the given size to the
+// attached recorder, if any. With no recorder this is a single nil check.
+func (e *Env) RecordAlloc(size uint64) {
+	if e.AllocRec != nil {
+		e.AllocRec.RecordAlloc(size)
+	}
 }
 
 // NewEnv returns an Env drawing addresses from as and randomness from a

@@ -23,6 +23,7 @@ func TestEnvSteadyStateEmissionDoesNotAllocate(t *testing.T) {
 			env.Read(a, 48, ClassApp)
 			env.Write(a+64, 24, ClassAlloc)
 			env.Copy(a+8192, a, 512, ClassApp)
+			env.RecordAlloc(48)
 		}
 		env.Drain()
 	}
@@ -33,6 +34,30 @@ func TestEnvSteadyStateEmissionDoesNotAllocate(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(20, round); allocs != 0 {
 		t.Fatalf("steady-state emission allocates %.1f times per round, want 0", allocs)
+	}
+}
+
+type countingRecorder struct{ n, bytes uint64 }
+
+func (r *countingRecorder) RecordAlloc(size uint64) { r.n++; r.bytes += size }
+
+// TestEnvRecordAlloc checks the recorder hook: sizes reach an attached
+// recorder, and with a recorder attached the call still allocates nothing
+// (the hook sits on every allocator's Malloc path).
+func TestEnvRecordAlloc(t *testing.T) {
+	as := mem.NewAddressSpace(0, 1<<40, mem.LargePageShiftXeon)
+	env := NewEnv(as, NewCodeLayout(4*mem.KiB, 128*mem.KiB), 1)
+
+	env.RecordAlloc(64) // no recorder: dropped
+	rec := &countingRecorder{}
+	env.AllocRec = rec
+	env.RecordAlloc(8)
+	env.RecordAlloc(24)
+	if rec.n != 2 || rec.bytes != 32 {
+		t.Fatalf("recorder saw n=%d bytes=%d, want 2/32", rec.n, rec.bytes)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { env.RecordAlloc(48) }); allocs != 0 {
+		t.Fatalf("RecordAlloc with recorder allocates %.1f times, want 0", allocs)
 	}
 }
 

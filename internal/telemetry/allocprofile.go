@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"sync/atomic"
+
+	"webmm/internal/heap"
+)
+
+// AllocProfile counts allocator API traffic per DDmalloc size class (plus
+// one bucket for large objects above heap.MaxClassSize), the fine-grained
+// allocator-phase evidence SpeedMalloc-style studies report. It implements
+// the sim.Env AllocRecorder hook; every allocator's Malloc reports its
+// request size here when telemetry is enabled.
+//
+// Recording is a single atomic add into a fixed array: allocation-free and
+// safe for the concurrent streams of a parallel cell fan-out.
+type AllocProfile struct {
+	classes [heap.NumClasses + 1]atomic.Uint64
+}
+
+// RecordAlloc counts one allocation request of the given size.
+func (p *AllocProfile) RecordAlloc(size uint64) {
+	if size == 0 || size > heap.MaxClassSize {
+		p.classes[heap.NumClasses].Add(1)
+		return
+	}
+	p.classes[heap.SizeToClass(size)].Add(1)
+}
+
+// ClassCount is one size class's traffic.
+type ClassCount struct {
+	// Bytes is the class's rounded object size; 0 marks the large-object
+	// bucket.
+	Bytes uint64
+	Count uint64
+}
+
+// Snapshot returns the per-class counts, smallest class first, large-object
+// bucket last. Classes with zero traffic are skipped.
+func (p *AllocProfile) Snapshot() []ClassCount {
+	var out []ClassCount
+	for c := 0; c < heap.NumClasses; c++ {
+		if n := p.classes[c].Load(); n > 0 {
+			out = append(out, ClassCount{Bytes: heap.ClassSize(c), Count: n})
+		}
+	}
+	if n := p.classes[heap.NumClasses].Load(); n > 0 {
+		out = append(out, ClassCount{Bytes: 0, Count: n})
+	}
+	return out
+}
+
+// Total returns the total recorded allocations.
+func (p *AllocProfile) Total() uint64 {
+	var t uint64
+	for i := range p.classes {
+		t += p.classes[i].Load()
+	}
+	return t
+}

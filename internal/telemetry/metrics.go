@@ -1,0 +1,326 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metric families — counters, gauges and histograms —
+// and renders them as Prometheus text exposition or CSV. A nil *Registry is
+// valid and hands out nil instruments, whose methods are allocation-free
+// no-ops, so instrumented code never branches on "is telemetry on".
+//
+// Instruments are identified by (name, labels); asking twice returns the
+// same instrument. Families keep registration order for output stability;
+// series within a family sort by label string.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// Labels are the label pairs of one series. Rendered sorted by key.
+type Labels map[string]string
+
+type family struct {
+	name, help, typ string
+	mu              sync.Mutex
+	series          map[string]metric // key: rendered label string
+}
+
+type metric interface {
+	labelString() string
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) getFamily(name, help, typ string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, series: make(map[string]metric)}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// labelString renders labels in canonical (sorted) order: `{a="1",b="2"}`,
+// or "" for no labels.
+func labelString(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing uint64 instrument.
+type Counter struct {
+	labels string
+	v      atomic.Uint64
+}
+
+func (c *Counter) labelString() string { return c.labels }
+
+// Add increments the counter by n. No-op on nil.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Counter returns (creating on first use) the counter (name, labels).
+// Returns nil on a nil registry.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, help, "counter")
+	ls := labelString(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[ls]; ok {
+		return m.(*Counter)
+	}
+	c := &Counter{labels: ls}
+	f.series[ls] = c
+	return c
+}
+
+// Gauge is a float64 instrument that can go up and down.
+type Gauge struct {
+	labels string
+	bits   atomic.Uint64
+}
+
+func (g *Gauge) labelString() string { return g.labels }
+
+// Set stores v. No-op on nil.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the stored value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Gauge returns (creating on first use) the gauge (name, labels). Returns
+// nil on a nil registry.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, help, "gauge")
+	ls := labelString(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[ls]; ok {
+		return m.(*Gauge)
+	}
+	g := &Gauge{labels: ls}
+	f.series[ls] = g
+	return g
+}
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus semantics:
+// each bucket counts observations <= its upper bound, plus an implicit +Inf
+// bucket, a sum and a count).
+type Histogram struct {
+	labels  string
+	bounds  []float64
+	mu      sync.Mutex
+	buckets []uint64 // len(bounds)+1; last is +Inf
+	sum     float64
+	count   uint64
+}
+
+func (h *Histogram) labelString() string { return h.labels }
+
+// Observe records one sample. No-op on nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Histogram returns (creating on first use) the histogram (name, labels)
+// with the given ascending bucket upper bounds. Returns nil on a nil
+// registry.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels Labels) *Histogram {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, help, "histogram")
+	ls := labelString(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[ls]; ok {
+		return m.(*Histogram)
+	}
+	h := &Histogram{labels: ls, bounds: bounds, buckets: make([]uint64, len(bounds)+1)}
+	f.series[ls] = h
+	return h
+}
+
+// sortedSeries returns a family's series sorted by label string.
+func (f *family) sortedSeries() []metric {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]metric, 0, len(f.series))
+	for _, m := range f.series {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].labelString() < out[j].labelString() })
+	return out
+}
+
+// fnum renders a float the way Prometheus text format expects.
+func fnum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format. Stable: families in registration order, series sorted by labels.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, m := range f.sortedSeries() {
+			switch m := m.(type) {
+			case *Counter:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, m.labels, m.Value())
+			case *Gauge:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, m.labels, fnum(m.Value()))
+			case *Histogram:
+				m.mu.Lock()
+				var cum uint64
+				for i, bound := range m.bounds {
+					cum += m.buckets[i]
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+						mergeLabel(m.labels, "le", fnum(bound)), cum)
+				}
+				cum += m.buckets[len(m.bounds)]
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					mergeLabel(m.labels, "le", "+Inf"), cum)
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, m.labels, fnum(m.sum))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, m.labels, m.count)
+				m.mu.Unlock()
+			}
+		}
+	}
+	return nil
+}
+
+// mergeLabel inserts one extra label pair into a rendered label string.
+func mergeLabel(labels, key, val string) string {
+	extra := fmt.Sprintf("%s=%q", key, val)
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// WriteCSV renders every series as "metric,labels,value" rows (histograms as
+// their _sum and _count). The header row makes the file self-describing.
+func (r *Registry) WriteCSV(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	fmt.Fprintln(w, "metric,labels,value")
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	csvField := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	for _, f := range fams {
+		for _, m := range f.sortedSeries() {
+			switch m := m.(type) {
+			case *Counter:
+				fmt.Fprintf(w, "%s,%s,%d\n", f.name, csvField(m.labels), m.Value())
+			case *Gauge:
+				fmt.Fprintf(w, "%s,%s,%s\n", f.name, csvField(m.labels), fnum(m.Value()))
+			case *Histogram:
+				m.mu.Lock()
+				fmt.Fprintf(w, "%s_sum,%s,%s\n", f.name, csvField(m.labels), fnum(m.sum))
+				fmt.Fprintf(w, "%s_count,%s,%d\n", f.name, csvField(m.labels), m.count)
+				m.mu.Unlock()
+			}
+		}
+	}
+	return nil
+}

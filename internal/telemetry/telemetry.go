@@ -1,0 +1,159 @@
+// Package telemetry is the simulator's observability layer: span-based
+// tracing (Chrome-trace JSONL), a metrics registry (Prometheus text and CSV
+// export), a per-run manifest, and a per-size-class allocation profile.
+//
+// The layer is zero-cost when disabled. The disabled state is the nil
+// *Telemetry (the package-level Nop): every accessor on it returns a nil
+// instrument, and every method on those nil instruments is an
+// allocation-free no-op. Instrumented code therefore threads one possibly-
+// nil handle through and calls it unconditionally — no "is telemetry on"
+// branches beyond the nil checks the instruments do themselves, and no
+// allocations on the hot paths the simulator benchmarks.
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Options selects the outputs of one telemetry session. Empty paths disable
+// the corresponding output; all-empty Options mean telemetry is off and New
+// returns Nop.
+type Options struct {
+	// TracePath receives Chrome-trace JSONL span and counter events.
+	TracePath string
+	// MetricsPath receives the metrics registry on Close; a ".csv" suffix
+	// selects CSV export, anything else the Prometheus text format.
+	MetricsPath string
+	// ManifestPath receives the run manifest JSON on Close.
+	ManifestPath string
+}
+
+// Enabled reports whether any output is selected.
+func (o Options) Enabled() bool {
+	return o.TracePath != "" || o.MetricsPath != "" || o.ManifestPath != ""
+}
+
+// Nop is the disabled telemetry layer: the nil *Telemetry, on which every
+// method is an allocation-free no-op.
+var Nop *Telemetry
+
+// Telemetry bundles one run's tracer, metrics registry, allocation profile
+// and manifest sink. Obtain one with New; share it between the runner, the
+// machines and the CLI; Close it once at end of run to flush files.
+type Telemetry struct {
+	opts      Options
+	tracer    *Tracer
+	traceFile *os.File
+	metrics   *Registry
+	alloc     *AllocProfile
+	manifest  *Manifest
+}
+
+// New opens a telemetry session for the given outputs. All-empty Options
+// return Nop with no error.
+func New(opts Options) (*Telemetry, error) {
+	if !opts.Enabled() {
+		return Nop, nil
+	}
+	t := &Telemetry{opts: opts, metrics: NewRegistry(), alloc: &AllocProfile{}}
+	if opts.TracePath != "" {
+		f, err := os.Create(opts.TracePath)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: %w", err)
+		}
+		t.traceFile = f
+		t.tracer = NewTracer(f)
+	}
+	return t, nil
+}
+
+// Enabled reports whether this is a live session (false for Nop).
+func (t *Telemetry) Enabled() bool { return t != nil }
+
+// Tracer returns the span tracer, or nil when tracing is off. The nil
+// tracer is safe to use.
+func (t *Telemetry) Tracer() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tracer
+}
+
+// Metrics returns the metrics registry, or nil when telemetry is off. The
+// nil registry is safe to use.
+func (t *Telemetry) Metrics() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.metrics
+}
+
+// AllocSizes returns the per-size-class allocation profile, or nil when
+// telemetry is off. Callers wiring it into a sim.Env must skip the nil (a
+// typed nil in the Env's interface field would defeat its nil check).
+func (t *Telemetry) AllocSizes() *AllocProfile {
+	if t == nil {
+		return nil
+	}
+	return t.alloc
+}
+
+// SetManifest registers the manifest to write on Close.
+func (t *Telemetry) SetManifest(m *Manifest) {
+	if t == nil {
+		return
+	}
+	t.manifest = m
+}
+
+// Close flushes the trace and writes the metrics and manifest files. Safe on
+// Nop. The allocation profile is appended to the metrics output as the
+// webmm_alloc_sizeclass_total family.
+func (t *Telemetry) Close() error {
+	if t == nil {
+		return nil
+	}
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if t.tracer != nil {
+		keep(t.tracer.Flush())
+		keep(t.traceFile.Close())
+	}
+	if t.opts.MetricsPath != "" {
+		t.exportAllocProfile()
+		f, err := os.Create(t.opts.MetricsPath)
+		keep(err)
+		if err == nil {
+			if strings.HasSuffix(t.opts.MetricsPath, ".csv") {
+				keep(t.metrics.WriteCSV(f))
+			} else {
+				keep(t.metrics.WritePrometheus(f))
+			}
+			keep(f.Close())
+		}
+	}
+	if t.opts.ManifestPath != "" && t.manifest != nil {
+		keep(t.manifest.WriteFile(t.opts.ManifestPath))
+	}
+	return firstErr
+}
+
+// exportAllocProfile snapshots the allocation profile into the registry so
+// it exports with the other metrics.
+func (t *Telemetry) exportAllocProfile() {
+	for _, cc := range t.alloc.Snapshot() {
+		bytes := "large"
+		if cc.Bytes > 0 {
+			bytes = fmt.Sprintf("%d", cc.Bytes)
+		}
+		t.metrics.Counter("webmm_alloc_sizeclass_total",
+			"allocation requests per DDmalloc size class (rounded object bytes; \"large\" = above the class map)",
+			Labels{"bytes": bytes}).Add(cc.Count)
+	}
+}

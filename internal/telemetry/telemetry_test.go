@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNopIsAllocationFree locks in the zero-cost-when-disabled contract:
+// every operation on the nil Telemetry and its nil instruments allocates
+// nothing.
+func TestNopIsAllocationFree(t *testing.T) {
+	tel := Nop
+	if tel.Enabled() {
+		t.Fatal("Nop reports enabled")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tel.Tracer().StartSpan("cell", "runner")
+		child := sp.Child("solve", "phase")
+		child.Arg("cached", true)
+		child.End()
+		sp.End()
+		tel.Tracer().Counter(0, "hw", nil)
+		tel.Metrics().Counter("c", "", nil).Add(3)
+		tel.Metrics().Gauge("g", "", nil).Set(1.5)
+		tel.Metrics().Histogram("h", "", nil, nil).Observe(2)
+		tel.AllocSizes()
+		tel.SetManifest(nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("Nop path allocates %.1f times per op, want 0", allocs)
+	}
+	if err := tel.Close(); err != nil {
+		t.Fatalf("Nop Close: %v", err)
+	}
+}
+
+// TestTraceRoundTrip writes nested spans and a counter sample and checks the
+// file validates as Chrome-trace JSONL with the expected event count and
+// parent linkage.
+func TestTraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	tel, err := New(Options{TracePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tel.Tracer().StartSpan("cell xeon/default", "cell")
+	root.Arg("platform", "xeon")
+	child := root.Child("solve", "phase")
+	child.End()
+	tel.Tracer().Counter(root.TID(), "hw.l2miss", map[string]float64{"mm": 12, "app": 30})
+	root.End()
+	if err := tel.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ValidateTraceFile(path)
+	if err != nil {
+		t.Fatalf("trace does not validate: %v", err)
+	}
+	if events != 3 {
+		t.Fatalf("got %d trace events, want 3", events)
+	}
+	data, _ := os.ReadFile(path)
+	text := string(data)
+	if !strings.Contains(text, `"parent":1`) {
+		t.Errorf("child span lost its parent link:\n%s", text)
+	}
+	if !strings.Contains(text, `"ph":"C"`) {
+		t.Errorf("counter sample missing:\n%s", text)
+	}
+}
+
+// TestMetricsExports exercises all three instrument kinds through both
+// export formats and the validators.
+func TestMetricsExports(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("webmm_cells_total", "simulated cells", nil).Add(7)
+	r.Counter("webmm_class_l2_miss_total", "", Labels{"class": "mm"}).Add(11)
+	r.Counter("webmm_class_l2_miss_total", "", Labels{"class": "app"}).Add(22)
+	r.Gauge("webmm_cache_hit_ratio", "", nil).Set(0.25)
+	h := r.Histogram("webmm_cell_seconds", "", []float64{0.1, 1, 10}, nil)
+	h.Observe(0.05)
+	h.Observe(3)
+
+	var prom strings.Builder
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	text := prom.String()
+	for _, want := range []string{
+		"# TYPE webmm_cells_total counter",
+		"webmm_cells_total 7",
+		`webmm_class_l2_miss_total{class="app"} 22`,
+		`webmm_class_l2_miss_total{class="mm"} 11`,
+		"webmm_cache_hit_ratio 0.25",
+		`webmm_cell_seconds_bucket{le="10"} 2`,
+		`webmm_cell_seconds_bucket{le="+Inf"} 2`,
+		"webmm_cell_seconds_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus export missing %q:\n%s", want, text)
+		}
+	}
+
+	dir := t.TempDir()
+	promPath := filepath.Join(dir, "m.prom")
+	os.WriteFile(promPath, []byte(text), 0o644)
+	if n, err := ValidateMetricsFile(promPath); err != nil || n == 0 {
+		t.Fatalf("prometheus export does not validate: n=%d err=%v", n, err)
+	}
+
+	var csv strings.Builder
+	if err := r.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	csvPath := filepath.Join(dir, "m.csv")
+	os.WriteFile(csvPath, []byte(csv.String()), 0o644)
+	if n, err := ValidateMetricsFile(csvPath); err != nil || n == 0 {
+		t.Fatalf("CSV export does not validate: n=%d err=%v", n, err)
+	}
+	if !strings.Contains(csv.String(), `webmm_class_l2_miss_total,"{class=""mm""}",11`) {
+		t.Errorf("CSV export malformed:\n%s", csv.String())
+	}
+}
+
+// TestSameInstrumentReturned checks (name, labels) identity.
+func TestSameInstrumentReturned(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x", "", Labels{"k": "v"})
+	b := r.Counter("x", "", Labels{"k": "v"})
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	c := r.Counter("x", "", Labels{"k": "w"})
+	if a == c {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("shared counter not shared")
+	}
+}
+
+// TestAllocProfile checks class bucketing including the large bucket.
+func TestAllocProfile(t *testing.T) {
+	var p AllocProfile
+	p.RecordAlloc(8)
+	p.RecordAlloc(7) // same class as 8
+	p.RecordAlloc(100)
+	p.RecordAlloc(1 << 20) // large
+	snap := p.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot %+v, want 3 classes", snap)
+	}
+	if snap[0].Bytes != 8 || snap[0].Count != 2 {
+		t.Errorf("class 8: %+v", snap[0])
+	}
+	if snap[1].Bytes != 104 || snap[1].Count != 1 {
+		t.Errorf("class 104: %+v", snap[1])
+	}
+	if snap[2].Bytes != 0 || snap[2].Count != 1 {
+		t.Errorf("large bucket: %+v", snap[2])
+	}
+	if p.Total() != 4 {
+		t.Errorf("total %d, want 4", p.Total())
+	}
+}
+
+// TestManifestValidate round-trips a manifest through disk and the
+// validator, covering the canonicalization used by the golden test.
+func TestManifestValidate(t *testing.T) {
+	m := &Manifest{
+		Tool:          "webmm",
+		FormatVersion: ManifestFormatVersion,
+		SimVersion:    2,
+		GoVersion:     "go1.22",
+		Config:        ManifestConfig{Scale: 32, Warmup: 2, Measure: 3, Seed: 1},
+		Experiments:   []string{"fig1"},
+		Cells: []ManifestCell{
+			{Platform: "xeon", Alloc: "default", Workload: "w", Cores: 8, WallMS: 12.5, Throughput: 100, Txns: 24},
+			{Platform: "xeon", Alloc: "region", Workload: "w", Cores: 8, Failed: true},
+		},
+		CacheHits: 1, CacheMisses: 3, CacheHitRatio: 0.25,
+		Failures: []ManifestFailure{{Cell: "xeon/region/w/8", Error: "boom", Attempts: 2}},
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ValidateManifestFile(path)
+	if err != nil {
+		t.Fatalf("manifest does not validate: %v", err)
+	}
+	if got.Cells[0].Throughput != 100 {
+		t.Errorf("round trip lost throughput: %+v", got.Cells[0])
+	}
+
+	canon := m.Canonical()
+	if canon.GoVersion != "" || canon.Cells[0].WallMS != 0 {
+		t.Errorf("Canonical left volatile fields: %+v", canon)
+	}
+	if m.Cells[0].WallMS == 0 {
+		t.Error("Canonical mutated the original manifest")
+	}
+
+	// Inconsistent accounting must be rejected.
+	m.CacheHitRatio = 0.9
+	m.WriteFile(path)
+	if _, err := ValidateManifestFile(path); err == nil {
+		t.Fatal("validator accepted inconsistent cache_hit_ratio")
+	}
+}

@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Validators for the three telemetry outputs. The CLI's -validate-telemetry
+// mode and the CI telemetry-smoke job call these to assert that a run's
+// trace, metrics and manifest files parse and carry the required structure.
+
+// ValidateTraceFile checks that every line of a trace file is a well-formed
+// Chrome trace event (valid JSON with name, ph, pid/tid and a timestamp) and
+// returns the number of events.
+func ValidateTraceFile(path string) (events int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 {
+			continue
+		}
+		var ev struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			TS   *float64 `json:"ts"`
+			PID  *int     `json:"pid"`
+			TID  *uint64  `json:"tid"`
+		}
+		if err := json.Unmarshal(text, &ev); err != nil {
+			return events, fmt.Errorf("%s:%d: bad trace event: %w", path, line, err)
+		}
+		switch {
+		case ev.Name == "":
+			return events, fmt.Errorf("%s:%d: trace event without name", path, line)
+		case ev.Ph == "":
+			return events, fmt.Errorf("%s:%d: trace event without ph", path, line)
+		case ev.TS == nil:
+			return events, fmt.Errorf("%s:%d: trace event without ts", path, line)
+		case ev.PID == nil || ev.TID == nil:
+			return events, fmt.Errorf("%s:%d: trace event without pid/tid", path, line)
+		}
+		events++
+	}
+	if err := sc.Err(); err != nil {
+		return events, err
+	}
+	if events == 0 {
+		return 0, fmt.Errorf("%s: empty trace", path)
+	}
+	return events, nil
+}
+
+// ValidateMetricsFile checks a metrics export — Prometheus text or CSV,
+// chosen by the ".csv" suffix as on write — and returns the number of
+// sample lines.
+func ValidateMetricsFile(path string) (samples int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		return validateMetricsCSV(path, string(data))
+	}
+	return validateMetricsProm(path, string(data))
+}
+
+func validateMetricsProm(path, text string) (int, error) {
+	samples := 0
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			if !strings.HasPrefix(rest, "HELP ") && !strings.HasPrefix(rest, "TYPE ") {
+				return samples, fmt.Errorf("%s:%d: unknown comment %q", path, i+1, line)
+			}
+			continue
+		}
+		// A sample is "name[{labels}] value": the value after the last
+		// space must parse as a number and the name must be before any
+		// '{'.
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return samples, fmt.Errorf("%s:%d: malformed sample %q", path, i+1, line)
+		}
+		val := line[sp+1:]
+		var f float64
+		if val != "+Inf" && val != "-Inf" && val != "NaN" {
+			if _, err := fmt.Sscanf(val, "%g", &f); err != nil {
+				return samples, fmt.Errorf("%s:%d: bad sample value %q", path, i+1, val)
+			}
+		}
+		name := line[:sp]
+		if b := strings.IndexByte(name, '{'); b >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				return samples, fmt.Errorf("%s:%d: unclosed label set in %q", path, i+1, line)
+			}
+			name = name[:b]
+		}
+		if name == "" {
+			return samples, fmt.Errorf("%s:%d: sample without metric name", path, i+1)
+		}
+		samples++
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("%s: no samples", path)
+	}
+	return samples, nil
+}
+
+func validateMetricsCSV(path, text string) (int, error) {
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) == 0 || lines[0] != "metric,labels,value" {
+		return 0, fmt.Errorf("%s: missing metric,labels,value header", path)
+	}
+	if len(lines) == 1 {
+		return 0, fmt.Errorf("%s: no samples", path)
+	}
+	return len(lines) - 1, nil
+}
+
+// ValidateManifestFile checks that a manifest file is valid JSON with the
+// required schema fields and internally consistent cache accounting, and
+// returns the parsed manifest.
+func ValidateManifestFile(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	switch {
+	case m.Tool == "":
+		return nil, fmt.Errorf("%s: missing tool", path)
+	case m.FormatVersion != ManifestFormatVersion:
+		return nil, fmt.Errorf("%s: format_version %d, want %d", path, m.FormatVersion, ManifestFormatVersion)
+	case m.SimVersion == 0:
+		return nil, fmt.Errorf("%s: missing simulator_version", path)
+	case m.Config.Scale == 0:
+		return nil, fmt.Errorf("%s: missing config.scale", path)
+	case len(m.Experiments) == 0:
+		return nil, fmt.Errorf("%s: no experiments recorded", path)
+	}
+	var failed int
+	for i, c := range m.Cells {
+		if c.Platform == "" || c.Alloc == "" || c.Workload == "" || c.Cores == 0 {
+			return nil, fmt.Errorf("%s: cells[%d] incomplete: %+v", path, i, c)
+		}
+		if c.Failed {
+			failed++
+		}
+	}
+	if failed != len(m.Failures) {
+		return nil, fmt.Errorf("%s: %d failed cells but %d failure records", path, failed, len(m.Failures))
+	}
+	if total := m.CacheHits + m.CacheMisses; total > 0 {
+		want := float64(m.CacheHits) / float64(total)
+		if diff := m.CacheHitRatio - want; diff > 1e-9 || diff < -1e-9 {
+			return nil, fmt.Errorf("%s: cache_hit_ratio %g inconsistent with hits/misses (want %g)",
+				path, m.CacheHitRatio, want)
+		}
+	}
+	return &m, nil
+}

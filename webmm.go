@@ -21,11 +21,22 @@
 //     and runners that regenerate every table and figure of the paper's
 //     evaluation (see internal/experiments and cmd/webmm).
 //
-// Quick use: build a Sandbox (one simulated core), create an allocator on
-// it, and exercise it; or use Study to run the paper's experiments.
+// Quick use: build a Study with options and run cells or whole experiments,
+//
+//	study, err := webmm.NewStudy(webmm.WithScale(64), webmm.WithJobs(4))
+//	...
+//	rel, err := study.CompareAllocators("phpBB", 8)
+//
+// or build a Sandbox (one simulated core) and exercise an allocator by
+// hand. Telemetry (tracing, metrics, a run manifest) attaches to either via
+// NewTelemetry and WithTelemetry.
 package webmm
 
 import (
+	"fmt"
+	"runtime"
+	"time"
+
 	"webmm/internal/apprt"
 	"webmm/internal/cpu"
 	"webmm/internal/experiments"
@@ -34,6 +45,7 @@ import (
 	"webmm/internal/mem"
 	"webmm/internal/report"
 	"webmm/internal/sim"
+	"webmm/internal/telemetry"
 	"webmm/internal/workload"
 )
 
@@ -62,21 +74,126 @@ type MachineResult = machine.Result
 // WorkloadProfile describes one of the paper's workloads (Table 2/3).
 type WorkloadProfile = workload.Profile
 
+// Table is an aligned text/CSV report table.
+type Table = report.Table
+
+// Chart is a text bar chart (used by fig5/fig7 outputs).
+type Chart = report.Chart
+
+// Telemetry is the observability layer: span tracing (Chrome-trace JSONL),
+// a metrics registry (Prometheus text/CSV), per-size-class allocation
+// profiling, and a run manifest. The zero value of interest is
+// telemetry.Nop (a nil pointer), which every simulation path accepts at no
+// cost; a live session is created by NewTelemetry.
+type Telemetry = telemetry.Telemetry
+
+// TelemetryOptions selects a telemetry session's outputs; empty paths
+// disable the corresponding output.
+type TelemetryOptions = telemetry.Options
+
+// NewTelemetry opens a telemetry session. All-empty options return the
+// disabled (nil) session, which is safe everywhere. Close the session to
+// flush its files.
+func NewTelemetry(opts TelemetryOptions) (*Telemetry, error) { return telemetry.New(opts) }
+
 // Xeon returns the Intel Xeon E5320 (Clovertown) platform model.
 func Xeon() Platform { return machine.Xeon() }
 
 // Niagara returns the Sun UltraSPARC T1 platform model.
 func Niagara() Platform { return machine.Niagara() }
 
-// AllocatorNames lists the allocators available to NewAllocator:
-// "default", "region", "ddmalloc", "obstack", "glibc", "hoard", "tcmalloc".
+// ---------------------------------------------------------------------------
+// Typed registries: allocators and experiments.
+
+// AllocatorName names one of the study's allocators. The constants below
+// cover every registered allocator; plain string literals convert
+// implicitly, so call sites may also write "ddmalloc".
+type AllocatorName string
+
+// The study's allocators, PHP comparison first (report order).
+const (
+	AllocDefault  AllocatorName = "default"
+	AllocRegion   AllocatorName = "region"
+	AllocDDmalloc AllocatorName = "ddmalloc"
+	AllocObstack  AllocatorName = "obstack"
+	AllocReap     AllocatorName = "reap"
+	AllocGlibc    AllocatorName = "glibc"
+	AllocHoard    AllocatorName = "hoard"
+	AllocTCMalloc AllocatorName = "tcmalloc"
+)
+
+// AllocatorInfo describes one registered allocator.
+type AllocatorInfo struct {
+	Name AllocatorName
+	// Study is "php" (Figures 1, 5-9), "ruby" (Figures 10-12), or
+	// "extra" for allocators outside the headline comparisons.
+	Study string
+	Doc   string
+}
+
+// Allocators returns the registered allocators in report order.
+func Allocators() []AllocatorInfo {
+	var out []AllocatorInfo
+	for _, d := range apprt.Allocators() {
+		out = append(out, AllocatorInfo{Name: AllocatorName(d.Name), Study: d.Study, Doc: d.Doc})
+	}
+	return out
+}
+
+// AllocatorNames lists the allocator names.
+//
+// Deprecated: use Allocators, which also carries docs and study membership.
 func AllocatorNames() []string { return apprt.AllocatorNames() }
+
+// ExperimentName names one of the paper's tables or figures.
+type ExperimentName string
+
+// The paper's experiments, in reporting order.
+const (
+	ExpFig1   ExperimentName = "fig1"
+	ExpTable2 ExperimentName = "table2"
+	ExpTable3 ExperimentName = "table3"
+	ExpFig5   ExperimentName = "fig5"
+	ExpFig6   ExperimentName = "fig6"
+	ExpFig7   ExperimentName = "fig7"
+	ExpTable4 ExperimentName = "table4"
+	ExpFig8   ExperimentName = "fig8"
+	ExpFig9   ExperimentName = "fig9"
+	ExpFig10  ExperimentName = "fig10"
+	ExpFig11  ExperimentName = "fig11"
+	ExpFig12  ExperimentName = "fig12"
+)
+
+// ExperimentInfo describes one registered experiment.
+type ExperimentInfo struct {
+	Name ExperimentName
+	// Ref is the paper artifact the experiment reproduces ("Figure 5").
+	Ref string
+	Doc string
+	// Example is a one-line cmd/webmm invocation.
+	Example string
+}
+
+// Experiments returns the registered experiments in the paper's reporting
+// order.
+func Experiments() []ExperimentInfo {
+	var out []ExperimentInfo
+	for _, d := range experiments.Experiments() {
+		out = append(out, ExperimentInfo{
+			Name: ExperimentName(d.Name), Ref: d.Ref, Doc: d.Doc, Example: d.Example,
+		})
+	}
+	return out
+}
 
 // Workloads returns the paper's PHP workload profiles in Table 2 order.
 func Workloads() []WorkloadProfile { return workload.Profiles() }
 
 // WorkloadByName looks a profile up by its report name.
 func WorkloadByName(name string) (WorkloadProfile, error) { return workload.ByName(name) }
+
+// ---------------------------------------------------------------------------
+// Sandbox: hand-driven single-core simulation.
 
 // Sandbox is a single-core simulated machine for exercising allocators
 // directly: create allocators on it, run malloc/free traffic, then Measure
@@ -86,17 +203,33 @@ type Sandbox struct {
 	env *sim.Env
 }
 
-// NewSandbox builds a one-core sandbox of the platform. allocCode is the
-// simulated code footprint used for allocator instructions (pass 0 for a
-// reasonable default).
-func NewSandbox(p Platform, seed uint64) *Sandbox {
+// SandboxOption configures a Sandbox at construction.
+type SandboxOption func(*Sandbox)
+
+// WithSandboxTelemetry attaches a telemetry session: allocator traffic
+// flows into its per-size-class allocation profile. The disabled (nil)
+// session is accepted and ignored.
+func WithSandboxTelemetry(tel *Telemetry) SandboxOption {
+	return func(s *Sandbox) {
+		if ap := tel.AllocSizes(); ap != nil {
+			s.env.AllocRec = ap
+		}
+	}
+}
+
+// NewSandbox builds a one-core sandbox of the platform.
+func NewSandbox(p Platform, seed uint64, opts ...SandboxOption) *Sandbox {
 	m := machine.New(p, 1, 16*mem.KiB, 192*mem.KiB, seed)
-	return &Sandbox{m: m, env: m.Streams()[0].Env}
+	s := &Sandbox{m: m, env: m.Streams()[0].Env}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
 // NewAllocator constructs a named allocator on the sandbox's address space.
-func (s *Sandbox) NewAllocator(name string) (Allocator, error) {
-	return apprt.NewAllocator(name, s.env, apprt.AllocOptions{})
+func (s *Sandbox) NewAllocator(name AllocatorName) (Allocator, error) {
+	return apprt.NewAllocator(string(name), s.env, apprt.AllocOptions{})
 }
 
 // NewDDmalloc constructs the paper's allocator with explicit options
@@ -128,23 +261,308 @@ func (s *Sandbox) Measure() { s.m.PriceMeasured() }
 // Result solves the timing model for everything measured so far.
 func (s *Sandbox) Result() MachineResult { return s.m.Solve() }
 
-// Study runs the paper's experiments. The zero Config is not valid; use
-// DefaultStudyConfig or fill the fields explicitly.
-type Study struct{ r *experiments.Runner }
+// ---------------------------------------------------------------------------
+// Study: the paper's experiments behind a builder API.
+
+// Study runs the paper's experiments. Build one with NewStudy and
+// functional options; the zero Study is not valid.
+type Study struct {
+	r        *experiments.Runner
+	platform string
+	jobs     int
+	tel      *Telemetry
+	started  time.Time
+	ran      []string
+}
+
+// StudyOption configures a Study at construction.
+type StudyOption func(*studyConfig) error
+
+type studyConfig struct {
+	cfg      experiments.Config
+	platform string
+	jobs     int
+	cacheDir string
+	faults   string
+	timeout  time.Duration
+	tel      *Telemetry
+}
+
+// WithPlatform sets the default platform ("xeon" or "niagara") for Cell
+// and CompareAllocators. The default is "xeon".
+func WithPlatform(name string) StudyOption {
+	return func(c *studyConfig) error {
+		if _, err := machine.PlatformByName(name); err != nil {
+			return err
+		}
+		c.platform = name
+		return nil
+	}
+}
+
+// WithScale sets the workload scale divisor (a power of two; 1 is paper
+// scale, larger is faster and coarser). The default is 32.
+func WithScale(scale int) StudyOption {
+	return func(c *studyConfig) error {
+		if scale < 1 || scale&(scale-1) != 0 {
+			return fmt.Errorf("webmm: scale %d must be a power of two", scale)
+		}
+		c.cfg.Scale = scale
+		return nil
+	}
+}
+
+// WithSeed sets the seed all simulation randomness derives from.
+func WithSeed(seed uint64) StudyOption {
+	return func(c *studyConfig) error { c.cfg.Seed = seed; return nil }
+}
+
+// WithRounds sets warmup and measured transactions per stream.
+func WithRounds(warmup, measure int) StudyOption {
+	return func(c *studyConfig) error {
+		if warmup < 0 || measure < 1 {
+			return fmt.Errorf("webmm: invalid rounds warmup=%d measure=%d", warmup, measure)
+		}
+		c.cfg.Warmup, c.cfg.Measure = warmup, measure
+		return nil
+	}
+}
+
+// WithJobs sets the worker count for experiment cell fan-out (1 = serial;
+// results are bit-identical either way). The default is GOMAXPROCS.
+func WithJobs(jobs int) StudyOption {
+	return func(c *studyConfig) error { c.jobs = jobs; return nil }
+}
+
+// WithCellCache persists finished cells under dir, keyed by configuration
+// and simulator version, so repeated studies skip simulated cells.
+func WithCellCache(dir string) StudyOption {
+	return func(c *studyConfig) error { c.cacheDir = dir; return nil }
+}
+
+// WithFaults enables deterministic fault injection from a plan spec such as
+// "oom:0.01,panic:0.1,budget:512MiB,cachecorrupt" (see the -faults flag).
+func WithFaults(spec string) StudyOption {
+	return func(c *studyConfig) error { c.faults = spec; return nil }
+}
+
+// WithTimeout bounds each cell's simulation wall time; an exceeded cell is
+// reported failed instead of stalling the study.
+func WithTimeout(d time.Duration) StudyOption {
+	return func(c *studyConfig) error { c.timeout = d; return nil }
+}
+
+// WithXeonLargePages enables DDmalloc's large-page optimization on Xeon
+// (the paper's separate +11.7% variant).
+func WithXeonLargePages(on bool) StudyOption {
+	return func(c *studyConfig) error { c.cfg.XeonLargePages = on; return nil }
+}
+
+// WithTelemetry attaches a telemetry session to the study: every cell is
+// traced, metrics accumulate, and Close writes the study's manifest into
+// it. The disabled (nil) session is accepted at no cost.
+func WithTelemetry(tel *Telemetry) StudyOption {
+	return func(c *studyConfig) error { c.tel = tel; return nil }
+}
+
+// NewStudy builds a study runner from options; the defaults are the
+// interactive configuration (scale 32, 2 warmup + 3 measured transactions,
+// the paper's seed, Xeon, GOMAXPROCS jobs, no cache, no faults, telemetry
+// off).
+func NewStudy(opts ...StudyOption) (*Study, error) {
+	c := studyConfig{
+		cfg:      experiments.DefaultConfig(),
+		platform: "xeon",
+		jobs:     runtime.GOMAXPROCS(0),
+	}
+	for _, opt := range opts {
+		if err := opt(&c); err != nil {
+			return nil, err
+		}
+	}
+	r := experiments.NewRunner(c.cfg)
+	if c.cacheDir != "" {
+		cache, err := experiments.NewCellCache(c.cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		r.Cache = cache
+	}
+	if c.faults != "" {
+		plan, err := experiments.ParseFaults(c.faults)
+		if err != nil {
+			return nil, err
+		}
+		r.Faults = plan
+	}
+	r.Timeout = c.timeout
+	r.Tel = c.tel
+	return &Study{
+		r:        r,
+		platform: c.platform,
+		jobs:     c.jobs,
+		tel:      c.tel,
+		started:  time.Now(),
+	}, nil
+}
+
+// CellSpec selects one simulation cell. Platform defaults to the study's
+// platform and Cores to 8 (the paper's headline core count).
+type CellSpec struct {
+	Platform string
+	Alloc    AllocatorName
+	Workload string
+	Cores    int
+	// Ruby selects the Ruby runtime (long-lived processes, no freeAll);
+	// RestartEvery is its restart period in the paper's full-scale
+	// transactions (0 = never restart) — the study rescales it like the
+	// figures do, so 500 means the paper's configuration at any scale.
+	Ruby         bool
+	RestartEvery int
+}
+
+// CellOutcome is everything one simulated cell reports.
+type CellOutcome struct {
+	// Machine is the solved timing result.
+	Machine MachineResult
+	// Footprint is the mean per-transaction peak memory consumption.
+	Footprint float64
+	// Calls is the per-stream-average allocator API traffic.
+	Calls AllocStats
+}
+
+// Cell simulates one cell (memoized within the study). A cell whose
+// simulation fails — panic, timeout, configuration error — is surfaced as
+// an error rather than zeros.
+func (s *Study) Cell(spec CellSpec) (CellOutcome, error) {
+	if spec.Platform == "" {
+		spec.Platform = s.platform
+	}
+	if spec.Cores == 0 {
+		spec.Cores = 8
+	}
+	if spec.Workload == "" && spec.Ruby {
+		spec.Workload = workload.Rails().Name
+	}
+	restart := 0
+	if spec.Ruby {
+		restart = s.r.RubyRestartPeriod(spec.RestartEvery)
+	}
+	cell := experiments.Cell{
+		Platform: spec.Platform, Alloc: string(spec.Alloc), Workload: spec.Workload,
+		Cores: spec.Cores, Ruby: spec.Ruby, RestartEvery: restart,
+	}
+	cr := s.r.Run(cell)
+	if cr.Failed {
+		for _, f := range s.r.Failures() {
+			if f.Cell == cell {
+				return CellOutcome{}, f
+			}
+		}
+		return CellOutcome{}, fmt.Errorf("webmm: cell %+v failed", cell)
+	}
+	return CellOutcome{Machine: cr.Res, Footprint: cr.Footprint, Calls: cr.Calls}, nil
+}
+
+// CompareAllocators runs one workload across the PHP-study allocators at
+// the given core count on the study's platform, returning throughput
+// relative to the default allocator, keyed by allocator name.
+func (s *Study) CompareAllocators(workloadName string, cores int) (map[AllocatorName]float64, error) {
+	base, err := s.Cell(CellSpec{Alloc: AllocDefault, Workload: workloadName, Cores: cores})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[AllocatorName]float64)
+	for _, alloc := range experiments.PHPAllocators() {
+		cr, err := s.Cell(CellSpec{Alloc: AllocatorName(alloc), Workload: workloadName, Cores: cores})
+		if err != nil {
+			return nil, err
+		}
+		if base.Machine.Throughput > 0 {
+			out[AllocatorName(alloc)] = cr.Machine.Throughput / base.Machine.Throughput
+		}
+	}
+	return out, nil
+}
+
+// ExperimentOutput is one experiment's rendered result.
+type ExperimentOutput struct {
+	Tables []*Table
+	Charts []*Chart
+}
+
+// RunExperiment reproduces one of the paper's tables or figures: the cell
+// plan is fanned out over the study's workers, then the tables (and, for
+// fig5/fig7, charts) are rendered from the memoized results. Failed cells
+// render as FAILED rows; inspect Failures for their errors.
+func (s *Study) RunExperiment(name ExperimentName) (ExperimentOutput, error) {
+	d, err := experiments.ExperimentByName(string(name))
+	if err != nil {
+		return ExperimentOutput{}, err
+	}
+	if d.Cells != nil && s.jobs != 1 {
+		if cells := d.Cells(s.r); len(cells) > 0 {
+			s.r.RunAll(cells, s.jobs)
+		}
+	}
+	out := d.Run(s.r)
+	s.ran = append(s.ran, d.Name)
+	return ExperimentOutput{Tables: out.Tables, Charts: out.Charts}, nil
+}
+
+// Failures returns the cells that failed so far.
+func (s *Study) Failures() []error {
+	var out []error
+	for _, f := range s.r.Failures() {
+		out = append(out, f)
+	}
+	return out
+}
+
+// Runner exposes the underlying experiment runner for figure-level APIs
+// (experiments.Fig5, experiments.Table4, ...).
+func (s *Study) Runner() *experiments.Runner { return s.r }
+
+// Close finalizes the study's telemetry: it assembles the run manifest
+// (experiments run, per-cell accounting, cache behaviour, failures), stamps
+// it, and closes the attached session, flushing its files. Without
+// telemetry, Close is a no-op. The study itself stays usable.
+func (s *Study) Close() error {
+	if !s.tel.Enabled() {
+		return nil
+	}
+	m := s.r.BuildManifest(s.ran)
+	m.Stamp(s.started)
+	s.tel.SetManifest(m)
+	return s.tel.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated surface, kept so pre-builder call sites compile unchanged.
 
 // StudyConfig controls simulation scale and measurement length; see
 // internal/experiments.Config.
+//
+// Deprecated: configure a Study with NewStudy options instead.
 type StudyConfig = experiments.Config
 
 // DefaultStudyConfig is sized for interactive use (coarse scale).
+//
+// Deprecated: NewStudy() with no options is the same configuration.
 func DefaultStudyConfig() StudyConfig { return experiments.DefaultConfig() }
 
-// NewStudy builds a study runner.
-func NewStudy(cfg StudyConfig) *Study { return &Study{r: experiments.NewRunner(cfg)} }
+// NewStudyFromConfig builds a study runner from a raw configuration.
+//
+// Deprecated: use NewStudy with options.
+func NewStudyFromConfig(cfg StudyConfig) *Study {
+	return &Study{r: experiments.NewRunner(cfg), platform: "xeon", jobs: 1, started: time.Now()}
+}
 
 // Compare runs one workload on one platform across the PHP-study allocators
 // at the given core count and returns throughput relative to the default
 // allocator, keyed by allocator name.
+//
+// Deprecated: use CompareAllocators (typed keys, error reporting).
 func (s *Study) Compare(platform, workloadName string, cores int) map[string]float64 {
 	base := s.r.Run(experiments.Cell{Platform: platform, Alloc: "default",
 		Workload: workloadName, Cores: cores})
@@ -161,6 +579,9 @@ func (s *Study) Compare(platform, workloadName string, cores int) map[string]flo
 
 // RunCell simulates one (platform, allocator, workload, cores) cell and
 // returns the solved machine result.
+//
+// Deprecated: use Cell, which also reports footprint, allocator calls, and
+// failures.
 func (s *Study) RunCell(platform, alloc, workloadName string, cores int) MachineResult {
 	return s.r.Run(experiments.Cell{Platform: platform, Alloc: alloc,
 		Workload: workloadName, Cores: cores}).Res
@@ -169,18 +590,16 @@ func (s *Study) RunCell(platform, alloc, workloadName string, cores int) Machine
 // RunRubyCell simulates one Ruby-study cell (Rails on 8 Xeon cores with the
 // given allocator and restart period in full-scale transactions; 0 disables
 // restarts).
+//
+// Deprecated: use Cell with Ruby set.
 func (s *Study) RunRubyCell(alloc string, restartEvery int) MachineResult {
 	return s.r.Run(experiments.Cell{Platform: "xeon", Alloc: alloc,
 		Workload: workload.Rails().Name, Cores: 8,
 		Ruby: true, RestartEvery: restartEvery}).Res
 }
 
-// Runner exposes the underlying experiment runner for figure-level APIs
-// (experiments.Fig5, experiments.Table4, ...).
-func (s *Study) Runner() *experiments.Runner { return s.r }
-
 // NewReportTable creates an aligned text/CSV table (re-exported for
 // examples and tools building custom reports).
-func NewReportTable(title string, header ...string) *report.Table {
+func NewReportTable(title string, header ...string) *Table {
 	return report.New(title, header...)
 }

@@ -8,14 +8,14 @@ import (
 
 func TestSandboxAllocatorRoundTrip(t *testing.T) {
 	sb := webmm.NewSandbox(webmm.Xeon(), 1)
-	for _, name := range webmm.AllocatorNames() {
-		a, err := sb.NewAllocator(name)
+	for _, info := range webmm.Allocators() {
+		a, err := sb.NewAllocator(info.Name)
 		if err != nil {
-			t.Fatalf("NewAllocator(%q): %v", name, err)
+			t.Fatalf("NewAllocator(%q): %v", info.Name, err)
 		}
 		p := a.Malloc(128)
 		if p == 0 {
-			t.Fatalf("%s: null pointer", name)
+			t.Fatalf("%s: null pointer", info.Name)
 		}
 		sb.Touch(p, 128, true)
 		if a.SupportsFree() {
@@ -89,20 +89,131 @@ func TestSizeClassesExposed(t *testing.T) {
 }
 
 func TestStudyCompare(t *testing.T) {
-	cfg := webmm.DefaultStudyConfig()
-	cfg.Scale = 64
-	cfg.Warmup, cfg.Measure = 1, 1
-	study := webmm.NewStudy(cfg)
-	rel := study.Compare("xeon", "phpBB", 1)
-	if len(rel) != 3 {
-		t.Fatalf("Compare returned %d allocators, want 3", len(rel))
+	study, err := webmm.NewStudy(
+		webmm.WithScale(64),
+		webmm.WithRounds(1, 1),
+		webmm.WithJobs(1),
+	)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if rel["default"] != 1.0 {
-		t.Fatalf("default relative throughput = %v, want 1.0", rel["default"])
+	rel, err := study.CompareAllocators("phpBB", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel) != 3 {
+		t.Fatalf("CompareAllocators returned %d allocators, want 3", len(rel))
+	}
+	if rel[webmm.AllocDefault] != 1.0 {
+		t.Fatalf("default relative throughput = %v, want 1.0", rel[webmm.AllocDefault])
 	}
 	for name, v := range rel {
 		if v <= 0 {
 			t.Errorf("%s relative throughput %v", name, v)
+		}
+	}
+
+	// The deprecated surface must stay in working order and agree.
+	old := webmm.NewStudyFromConfig(studyCfg64())
+	oldRel := old.Compare("xeon", "phpBB", 1)
+	for name, v := range rel {
+		if oldRel[string(name)] != v {
+			t.Errorf("deprecated Compare disagrees for %s: %v vs %v", name, oldRel[string(name)], v)
+		}
+	}
+}
+
+func studyCfg64() webmm.StudyConfig {
+	cfg := webmm.DefaultStudyConfig()
+	cfg.Scale = 64
+	cfg.Warmup, cfg.Measure = 1, 1
+	return cfg
+}
+
+func TestStudyOptionValidation(t *testing.T) {
+	if _, err := webmm.NewStudy(webmm.WithScale(48)); err == nil {
+		t.Error("WithScale(48) accepted; want power-of-two error")
+	}
+	if _, err := webmm.NewStudy(webmm.WithPlatform("pdp11")); err == nil {
+		t.Error("WithPlatform(pdp11) accepted; want unknown-platform error")
+	}
+	if _, err := webmm.NewStudy(webmm.WithFaults("bogus:1")); err == nil {
+		t.Error("WithFaults(bogus:1) accepted; want parse error")
+	}
+	if _, err := webmm.NewStudy(webmm.WithRounds(0, 0)); err == nil {
+		t.Error("WithRounds(0,0) accepted; want at least one measured round")
+	}
+}
+
+func TestStudyCellAndExperiment(t *testing.T) {
+	study, err := webmm.NewStudy(
+		webmm.WithScale(1024),
+		webmm.WithRounds(1, 1),
+		webmm.WithSeed(11),
+		webmm.WithJobs(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := study.Cell(webmm.CellSpec{Alloc: webmm.AllocDDmalloc, Workload: "MediaWiki(ro)", Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Machine.Throughput <= 0 || out.Footprint <= 0 || out.Calls.Mallocs == 0 {
+		t.Fatalf("cell outcome incomplete: %+v", out)
+	}
+
+	ruby, err := study.Cell(webmm.CellSpec{Alloc: webmm.AllocGlibc, Ruby: true, Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ruby.Machine.Throughput <= 0 {
+		t.Fatalf("ruby cell outcome incomplete: %+v", ruby)
+	}
+
+	res, err := study.RunExperiment(webmm.ExpFig1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 1 || res.Tables[0].String() == "" {
+		t.Fatalf("fig1 output incomplete: %+v", res)
+	}
+	if _, err := study.RunExperiment("fig99"); err == nil {
+		t.Error("RunExperiment(fig99) accepted; want unknown-experiment error")
+	}
+	if err := study.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistriesExposed(t *testing.T) {
+	allocs := webmm.Allocators()
+	if len(allocs) != 8 {
+		t.Fatalf("got %d allocators, want 8", len(allocs))
+	}
+	studies := map[string]bool{}
+	for _, a := range allocs {
+		if a.Doc == "" || a.Study == "" {
+			t.Errorf("allocator %s missing doc or study", a.Name)
+		}
+		studies[a.Study] = true
+	}
+	for _, want := range []string{"php", "ruby", "extra"} {
+		if !studies[want] {
+			t.Errorf("no allocator belongs to the %q study", want)
+		}
+	}
+
+	exps := webmm.Experiments()
+	if len(exps) != 12 {
+		t.Fatalf("got %d experiments, want 12", len(exps))
+	}
+	if exps[0].Name != webmm.ExpFig1 || exps[len(exps)-1].Name != webmm.ExpFig12 {
+		t.Errorf("experiment order wrong: first %s last %s", exps[0].Name, exps[len(exps)-1].Name)
+	}
+	for _, e := range exps {
+		if e.Ref == "" || e.Doc == "" || e.Example == "" {
+			t.Errorf("experiment %s missing ref, doc, or example", e.Name)
 		}
 	}
 }
