@@ -12,9 +12,24 @@
 //	webmm -exp all -faults oom:0.05 -timeout 30s   # fault-injection run
 //	webmm -exp fig1 -trace t.jsonl -metrics m.prom -manifest run.json
 //	webmm -list                    # the experiment and allocator catalogues
+//	webmm serve -addr :8080        # long-running HTTP experiment service
 //
 // Run webmm -h for the full experiment list (generated from the registry
-// that also drives -exp parsing and EXPERIMENTS.md).
+// that also drives -exp parsing and EXPERIMENTS.md), and webmm serve -h for
+// the service flags.
+//
+// webmm serve turns the runner into a long-lived service: POST /run queues
+// cells or whole experiments onto a bounded worker pool (queue overflow is
+// rejected with 429 + Retry-After), progress streams back as NDJSON, every
+// request shares one on-disk cell cache and one live /metrics registry,
+// and SIGTERM drains in-flight cells before exiting 0. Cell cancellation
+// is cooperative end to end — a disconnecting client, per-request timeout,
+// or shutdown stops the simulation loops at their next checkpoint instead
+// of abandoning goroutines.
+//
+// Interactive runs cancel the same way: SIGINT/SIGTERM fails in-flight
+// cells cooperatively, the failure report prints, and the process exits
+// nonzero instead of dying mid-table.
 //
 // With -trace/-metrics/-manifest, the run writes its telemetry: a Chrome
 // Trace Event (JSONL) span log of every cell and phase (load it in
@@ -38,12 +53,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"webmm/internal/apprt"
@@ -54,6 +72,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		os.Exit(serveCmd(os.Args[2:]))
+	}
 	os.Exit(run())
 }
 
@@ -132,8 +153,15 @@ func run() int {
 		Scale: *scale, Warmup: *warmup, Measure: *measure,
 		Seed: *seed, XeonLargePages: *xeonLP,
 	}
+	// SIGINT/SIGTERM cancels in-flight cells cooperatively: they fail,
+	// the failure report prints, and the run exits nonzero — no abandoned
+	// simulation work.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	r := experiments.NewRunner(cfg)
 	r.Tel = tel
+	r.Ctx = ctx
 	plan, err := experiments.ParseFaults(*faults)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "webmm:", err)
@@ -274,7 +302,7 @@ func validateTelemetry(tracePath, metricsPath, manifestPath string) error {
 // parsing.
 func usage() {
 	fmt.Fprintf(flag.CommandLine.Output(),
-		"webmm regenerates the tables and figures of the paper's evaluation.\n\nUsage: webmm [flags]\n\nFlags:\n")
+		"webmm regenerates the tables and figures of the paper's evaluation.\n\nUsage: webmm [flags]\n       webmm serve [flags]   (long-running HTTP experiment service; webmm serve -h)\n\nFlags:\n")
 	flag.PrintDefaults()
 	fmt.Fprintf(flag.CommandLine.Output(), "\nExperiments (-exp):\n%s", experiments.UsageExperiments())
 	fmt.Fprintf(flag.CommandLine.Output(), "\nAllocators (-alloc):\n")

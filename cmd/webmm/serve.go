@@ -1,0 +1,80 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"webmm/internal/experiments"
+	"webmm/internal/server"
+)
+
+// serveCmd implements `webmm serve`: the long-running experiment service.
+// It serves until SIGINT/SIGTERM, then drains in-flight cells and exits 0.
+func serveCmd(args []string) int {
+	fs := flag.NewFlagSet("webmm serve", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8080", "listen address (\":0\" picks a free port)")
+		jobs    = fs.Int("jobs", runtime.GOMAXPROCS(0), "worker goroutines executing requests")
+		queue   = fs.Int("queue", 0, "admission queue depth beyond the workers (0 = 2×jobs); overflow returns 429")
+		scale   = fs.Int("scale", 32, "default workload scale divisor (power of two; requests may override)")
+		warmup  = fs.Int("warmup", 2, "default warmup transactions per stream")
+		measure = fs.Int("measure", 3, "default measured transactions per stream")
+		seed    = fs.Uint64("seed", 20090615, "default random seed")
+		cellDir = fs.String("cellcache", "", "on-disk cell cache shared by all requests (empty = disabled)")
+		timeout = fs.Duration("timeout", 0, "per-cell wall-clock budget (0 = unlimited); requests may tighten it")
+		drain   = fs.Duration("drain-timeout", 60*time.Second, "graceful-shutdown budget before in-flight cells are cancelled")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(),
+			"webmm serve runs the experiment runner as an HTTP service.\n\nUsage: webmm serve [flags]\n\nFlags:\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(fs.Output(), `
+Endpoints:
+  POST /run      a cell ({"platform","alloc","workload","cores",...}) or an
+                 experiment ({"experiment":"fig1"}); streams NDJSON progress
+  GET  /metrics  live Prometheus metrics of the shared telemetry registry
+  GET  /healthz  queue and worker status
+
+SIGTERM drains in-flight cells (bounded by -drain-timeout) and exits 0.
+`)
+	}
+	_ = fs.Parse(args)
+
+	srv, err := server.New(server.Config{
+		Addr:       *addr,
+		Jobs:       *jobs,
+		QueueDepth: *queue,
+		Sim: experiments.Config{
+			Scale: *scale, Warmup: *warmup, Measure: *measure, Seed: *seed,
+		},
+		CacheDir:     *cellDir,
+		CellTimeout:  *timeout,
+		DrainTimeout: *drain,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "webmm serve:", err)
+		return 2
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	qd := *queue
+	if qd <= 0 {
+		qd = 2 * *jobs
+	}
+	go func() {
+		fmt.Fprintf(os.Stderr, "webmm serve: listening on http://%s (%d workers, queue %d)\n",
+			srv.Addr(), *jobs, qd)
+	}()
+	if err := srv.ListenAndServe(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "webmm serve:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "webmm serve: drained, shutting down cleanly")
+	return 0
+}

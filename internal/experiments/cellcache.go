@@ -83,8 +83,11 @@ func (cc *CellCache) load(cfg Config, c Cell) (CellResult, bool) {
 
 // store persists the result for (cfg, c). Failures are silent: the cache is
 // best-effort and a run must never fail because its cache directory did.
-// The write-then-rename keeps concurrent processes from observing partial
-// entries.
+// The write-then-rename keeps any concurrent reader from observing partial
+// entries, and os.CreateTemp gives every writer its own scratch file: two
+// Runners in one process (the server's steady state) or two processes
+// storing the same cell never interleave writes — last rename wins, and
+// both rename complete entries.
 func (cc *CellCache) store(cfg Config, c Cell, res CellResult) {
 	if cc == nil {
 		return
@@ -95,12 +98,17 @@ func (cc *CellCache) store(cfg Config, c Cell, res CellResult) {
 	if err != nil {
 		return
 	}
-	path := cc.path(cfg, c)
-	tmp := fmt.Sprintf("%s.tmp%d", path, os.Getpid())
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.CreateTemp(cc.dir, "cell-*.tmp")
+	if err != nil {
 		return
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	if cerr := f.Close(); werr != nil || cerr != nil {
+		_ = os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, cc.path(cfg, c)); err != nil {
 		_ = os.Remove(tmp)
 	}
 }

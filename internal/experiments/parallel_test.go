@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"webmm/internal/workload"
 )
@@ -130,6 +133,128 @@ func TestCellPlannersCoverFigures(t *testing.T) {
 	Fig12(cov)
 	if after := len(cov.cells); after != before {
 		t.Errorf("Fig12 simulated %d cells beyond its plan", after-before)
+	}
+}
+
+// TestTimeoutLeavesNoGoroutines is the regression test for the old watchdog
+// timeout, which returned to the caller while the simulation goroutine kept
+// running (burning CPU and writing telemetry) until the cell finished on its
+// own. Cancellation is now cooperative on the caller's goroutine, so after a
+// forced timeout the process must be back to its baseline goroutine count —
+// nothing abandoned, nothing leaked.
+func TestTimeoutLeavesNoGoroutines(t *testing.T) {
+	// Scale 16 cells run for hundreds of milliseconds; a 1ms budget is
+	// guaranteed to expire mid-simulation, never before it starts.
+	r := NewRunner(Config{Scale: 16, Warmup: 1, Measure: 1, Seed: 7})
+	r.Timeout = time.Millisecond
+	wl := workload.PhpBB().Name
+
+	base := runtime.NumGoroutine()
+	cells := []Cell{
+		phpCell("xeon", "default", wl, 1),
+		phpCell("xeon", "region", wl, 1),
+		phpCell("niagara", "ddmalloc", wl, 1),
+	}
+	for _, res := range r.RunAll(cells, 2) {
+		if !res.Failed {
+			t.Fatal("1ms timeout did not fail the cell")
+		}
+	}
+	if len(r.Failures()) != len(cells) {
+		t.Fatalf("want %d recorded timeouts, got %d", len(cells), len(r.Failures()))
+	}
+
+	// RunAll's workers and the context timers need a moment to unwind;
+	// poll rather than sleep a fixed (flaky) amount.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked after timeout: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCancelledCellNotPoisoned: a cancellation failure is environmental, not
+// a property of the cell, so it must not be memoized — the next caller with
+// a live context gets a real simulation, bit-identical to an undisturbed run.
+func TestCancelledCellNotPoisoned(t *testing.T) {
+	cfg := parCfg()
+	c := phpCell("xeon", "ddmalloc", workload.PhpBB().Name, 1)
+
+	want := NewRunner(cfg).Run(c)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRunner(cfg)
+	if res := r.RunContext(ctx, c); !res.Failed {
+		t.Fatal("cancelled context did not fail the cell")
+	}
+	if len(r.Failures()) != 1 {
+		t.Fatalf("want 1 recorded cancellation, got %d", len(r.Failures()))
+	}
+	got := r.Run(c)
+	if got.Failed {
+		t.Fatal("cancellation failure was memoized: live re-run still failed")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("re-run after cancellation differs from an undisturbed run")
+	}
+	if len(r.Failures()) != 1 {
+		t.Error("successful re-run recorded a spurious failure")
+	}
+}
+
+// TestCellCacheConcurrentStore: two runners in one process (webmm serve)
+// share a cache directory, so store must be atomic under concurrency — a
+// torn or cross-linked temp file would corrupt an entry another request is
+// loading. Races many stores of the same and distinct cells and checks every
+// entry round-trips and no temp files are left behind.
+func TestCellCacheConcurrentStore(t *testing.T) {
+	dir := t.TempDir()
+	cc, err := NewCellCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := parCfg()
+	wl := workload.PhpBB().Name
+	cells := []Cell{
+		phpCell("xeon", "default", wl, 1),
+		phpCell("xeon", "region", wl, 2),
+		phpCell("niagara", "ddmalloc", wl, 4),
+	}
+	results := make([]CellResult, len(cells))
+	for i, c := range cells {
+		results[i] = CellResult{Cell: c, TxnsPerStream: float64(i + 1)}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 8; rep++ {
+				i := (g + rep) % len(cells)
+				cc.store(cfg, cells[i], results[i])
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for i, c := range cells {
+		got, ok := cc.load(cfg, c)
+		if !ok || !reflect.DeepEqual(got, results[i]) {
+			t.Errorf("cell %d does not round-trip after concurrent stores", i)
+		}
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmps) != 0 {
+		t.Errorf("concurrent stores left temp files behind: %v", tmps)
+	}
+	if entries, _ := filepath.Glob(filepath.Join(dir, "*.json")); len(entries) != len(cells) {
+		t.Errorf("want %d cache entries, got %d", len(cells), len(entries))
 	}
 }
 

@@ -149,10 +149,11 @@ type Runner struct {
 	// Faults configures deterministic fault injection (see FaultPlan).
 	// Set before the first Run; an Active plan bypasses the cell cache.
 	Faults FaultPlan
-	// Timeout bounds each cell's simulation wall time (0 = unbounded).
-	// A timed-out cell is reported failed; its simulation goroutine is
-	// abandoned (the simulator has no preemption points) and exits with
-	// the process.
+	// Timeout bounds each cell attempt's simulation wall time (0 =
+	// unbounded). Cancellation is cooperative: the simulation loops poll
+	// their context between pricing rounds and phases (sim.Checkpoint),
+	// so a timed-out cell stops on its own goroutine — nothing is
+	// abandoned — and is reported failed.
 	Timeout time.Duration
 	// Ctx, when non-nil, cancels in-flight and future cells when done.
 	Ctx context.Context
@@ -184,12 +185,17 @@ type cellAccount struct {
 }
 
 // inflightCell tracks one in-progress simulation so racing callers wait for
-// the leader's result instead of simulating the cell again. res is written
-// once by the leader before done is closed; the close is the
-// happens-before edge that publishes it to waiters.
+// the leader's result instead of simulating the cell again. res and
+// cancelled are written once by the leader before done is closed; the close
+// is the happens-before edge that publishes them to waiters.
 type inflightCell struct {
 	done chan struct{}
 	res  CellResult
+	// cancelled marks a leader that failed only because its own context
+	// was cancelled or timed out. Such failures say nothing about the
+	// cell, so they are not memoized, and a waiter whose context is still
+	// live re-runs the cell instead of inheriting the failure.
+	cancelled bool
 }
 
 // NewRunner returns a Runner for cfg.
@@ -220,29 +226,64 @@ type footprinter interface {
 // CellError (see Failures), and every other cell keeps running. Recovered
 // panics are retried once before the cell is declared failed.
 func (r *Runner) Run(c Cell) CellResult {
-	r.mu.Lock()
-	if got, ok := r.cells[c]; ok {
-		r.memoHits++
-		r.mu.Unlock()
-		r.Tel.Metrics().Counter("webmm_memo_hits_total",
-			"Run calls served from the in-process memo", nil).Inc()
-		return got
-	}
-	if fl, ok := r.inflight[c]; ok {
-		r.mu.Unlock()
-		<-fl.done
-		return fl.res
-	}
-	fl := &inflightCell{done: make(chan struct{})}
-	r.inflight[c] = fl
-	r.mu.Unlock()
+	return r.RunContext(context.Background(), c)
+}
 
-	span := r.Tel.Tracer().StartSpan("cell "+cellKey(c), "cell")
+// RunContext is Run bounded by a caller context (typically one server
+// request): cancelling ctx cooperatively stops the cell's simulation loops
+// and fails the call. Cancellation and timeout failures are environmental,
+// not properties of the cell, so they are recorded (Failures) but never
+// memoized — a later call with a live context re-simulates the cell. All
+// other failures memoize as usual.
+func (r *Runner) RunContext(ctx context.Context, c Cell) CellResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		r.mu.Lock()
+		if got, ok := r.cells[c]; ok {
+			r.memoHits++
+			r.mu.Unlock()
+			r.Tel.Metrics().Counter("webmm_memo_hits_total",
+				"Run calls served from the in-process memo", nil).Inc()
+			return got
+		}
+		if fl, ok := r.inflight[c]; ok {
+			r.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				// The caller is gone; don't hold its goroutine for a
+				// result nobody wants. Not recorded as a cell failure —
+				// the leader still owns the cell's fate.
+				return CellResult{Cell: c, Failed: true}
+			}
+			if fl.cancelled && ctx.Err() == nil {
+				continue // the leader's context died, not ours: take over
+			}
+			return fl.res
+		}
+		fl := &inflightCell{done: make(chan struct{})}
+		r.inflight[c] = fl
+		r.mu.Unlock()
+		return r.lead(ctx, c, fl)
+	}
+}
+
+// lead runs one cell as the singleflight leader and publishes the result to
+// any waiters.
+func (r *Runner) lead(ctx context.Context, c Cell, fl *inflightCell) CellResult {
+	span := r.Tel.Tracer().StartSpan("cell "+c.Key(), "cell")
 	span.Arg("platform", c.Platform)
 	span.Arg("alloc", c.Alloc)
 	span.Arg("workload", c.Workload)
 	span.Arg("cores", c.Cores)
 	start := time.Now()
+
+	// The runner-wide Ctx cancels every cell; a per-call ctx only its own.
+	// Merge the two when both can fire.
+	ctx, stop := joinContext(ctx, r.Ctx)
+	defer stop()
 
 	// An active fault plan bypasses the cache in both directions:
 	// perturbed results must not poison it and clean entries must not
@@ -250,15 +291,18 @@ func (r *Runner) Run(c Cell) CellResult {
 	useCache := !r.Faults.Active()
 	var out CellResult
 	cached := false
+	cancelled := false
 	attempts := 0
 	if useCache {
 		out, cached = r.Cache.load(r.Cfg, c)
 	}
 	if !cached {
-		res, cerr := r.runCell(c, span)
+		res, cerr := r.runCell(ctx, c, span)
 		if cerr != nil {
 			out = CellResult{Cell: c, Failed: true}
 			attempts = cerr.Attempts
+			cancelled = errors.Is(cerr.Err, context.Canceled) ||
+				errors.Is(cerr.Err, context.DeadlineExceeded)
 			r.mu.Lock()
 			r.failures = append(r.failures, cerr)
 			r.mu.Unlock()
@@ -276,10 +320,15 @@ func (r *Runner) Run(c Cell) CellResult {
 	wall := time.Since(start)
 
 	fl.res = out
+	fl.cancelled = cancelled
 	r.mu.Lock()
-	r.cells[c] = out
-	r.accounts[c] = cellAccount{wallMS: float64(wall.Nanoseconds()) / 1e6, cached: cached}
-	if useCache && r.Cache != nil {
+	if !cancelled {
+		// A cancelled or timed-out cell is not memoized: the next caller
+		// with a live context gets a fresh simulation.
+		r.cells[c] = out
+		r.accounts[c] = cellAccount{wallMS: float64(wall.Nanoseconds()) / 1e6, cached: cached}
+	}
+	if useCache && r.Cache != nil && !cancelled {
 		if cached {
 			r.cacheHits++
 		} else {
@@ -313,6 +362,27 @@ func (r *Runner) Run(c Cell) CellResult {
 	}
 	return out
 }
+
+// joinContext returns a context that is cancelled when either input is.
+// Whenever one side cannot fire the other is returned as-is, which is every
+// CLI configuration; the merged context (one context.AfterFunc) only exists
+// when a per-request context and a runner-wide Ctx are both cancellable.
+func joinContext(ctx, extra context.Context) (context.Context, func()) {
+	nop := func() {}
+	if extra == nil || extra.Done() == nil {
+		return ctx, nop
+	}
+	if ctx.Done() == nil {
+		return extra, nop
+	}
+	merged, cancel := context.WithCancelCause(ctx)
+	stop := context.AfterFunc(extra, func() { cancel(extra.Err()) })
+	return merged, func() { stop(); cancel(nil) }
+}
+
+// Key renders the cell as the compact platform/alloc/workload/cores path
+// used in span names, failure reports, and the server's progress events.
+func (c Cell) Key() string { return cellKey(c) }
 
 // cellKey renders a cell as the compact path used in span names and failure
 // reports.
@@ -459,11 +529,14 @@ func (r *Runner) BuildManifest(experiments []string) *telemetry.Manifest {
 // failure was a recovered panic (possibly transient under random fault
 // injection). Timeouts, cancellation, and configuration errors are
 // deterministic and not retried.
-func (r *Runner) runCell(c Cell, span *telemetry.Span) (CellResult, *CellError) {
+func (r *Runner) runCell(ctx context.Context, c Cell, span *telemetry.Span) (CellResult, *CellError) {
 	var lastErr error
 	var stack []byte
 	for attempt := 0; attempt < 2; attempt++ {
-		out, err := r.simulateGuarded(c, attempt, span)
+		if err := ctx.Err(); err != nil {
+			return CellResult{}, &CellError{Cell: c, Err: err, Attempts: attempt + 1}
+		}
+		out, err := r.simulateGuarded(ctx, c, attempt, span)
 		if err == nil {
 			return out, nil
 		}
@@ -477,48 +550,42 @@ func (r *Runner) runCell(c Cell, span *telemetry.Span) (CellResult, *CellError) 
 	return CellResult{}, &CellError{Cell: c, Err: lastErr, Stack: stack, Attempts: 2}
 }
 
-// simulateGuarded runs simulate with panics recovered into errors and, when
-// a Timeout or Ctx is configured, a watchdog that abandons the simulation
-// goroutine rather than letting one wedged cell stall the whole plan.
-func (r *Runner) simulateGuarded(c Cell, attempt int, span *telemetry.Span) (CellResult, error) {
-	run := func() (out CellResult, err error) {
-		defer func() {
-			if p := recover(); p != nil {
-				err = &panicError{val: p, stack: debug.Stack()}
-			}
-		}()
-		return r.simulate(c, attempt, span)
-	}
-	if r.Timeout <= 0 && r.Ctx == nil {
-		return run()
-	}
-	type outcome struct {
-		res CellResult
-		err error
-	}
-	ch := make(chan outcome, 1)
-	go func() {
-		res, err := run()
-		ch <- outcome{res, err}
-	}()
-	var expired <-chan time.Time
+// simulateGuarded runs one simulate attempt with panics recovered into
+// errors and, when a Timeout is configured, a per-attempt deadline on the
+// context. Cancellation is cooperative — the simulation polls the context
+// between phases and pricing rounds and returns on its own goroutine — so
+// there is no watchdog and nothing to abandon: when simulateGuarded
+// returns, no simulation work for the cell is running anywhere.
+func (r *Runner) simulateGuarded(ctx context.Context, c Cell, attempt int, span *telemetry.Span) (out CellResult, err error) {
 	if r.Timeout > 0 {
-		t := time.NewTimer(r.Timeout)
-		defer t.Stop()
-		expired = t.C
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.Timeout)
+		defer cancel()
 	}
-	var cancelled <-chan struct{}
-	if r.Ctx != nil {
-		cancelled = r.Ctx.Done()
+	defer func() {
+		if p := recover(); p != nil {
+			err = &panicError{val: p, stack: debug.Stack()}
+		}
+		if err != nil && r.Timeout > 0 && errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("simulation exceeded timeout %v: %w", r.Timeout, err)
+		}
+	}()
+	return r.simulate(ctx, c, attempt, span)
+}
+
+// ctxErr is a deadline-aware ctx.Err: context.WithTimeout only reports an
+// error once its runtime timer has been serviced, which a tight simulation
+// loop can delay past the whole cell. Phase boundaries check the clock
+// against the deadline directly so an expired budget fails the cell
+// deterministically.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
 	}
-	select {
-	case o := <-ch:
-		return o.res, o.err
-	case <-expired:
-		return CellResult{}, fmt.Errorf("simulation exceeded timeout %v", r.Timeout)
-	case <-cancelled:
-		return CellResult{}, r.Ctx.Err()
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		return context.DeadlineExceeded
 	}
+	return nil
 }
 
 // faultSeed derives the fault-injection RNG seed for one (cell, stream,
@@ -558,15 +625,24 @@ func (r *Runner) RunAll(cells []Cell, jobs int) []CellResult {
 	if jobs > len(uniq) {
 		jobs = len(uniq)
 	}
+	// Results are collected as the workers produce them, not re-requested
+	// afterwards: a cell whose failure is not memoized (timeout or
+	// cancellation) must not be simulated a second time just to fill its
+	// output slot.
+	results := make(map[Cell]CellResult, len(uniq))
 	if jobs > 1 {
 		work := make(chan Cell)
 		var wg sync.WaitGroup
+		var mu sync.Mutex
 		wg.Add(jobs)
 		for w := 0; w < jobs; w++ {
 			go func() {
 				defer wg.Done()
 				for c := range work {
-					r.Run(c)
+					res := r.Run(c)
+					mu.Lock()
+					results[c] = res
+					mu.Unlock()
 				}
 			}()
 		}
@@ -575,10 +651,14 @@ func (r *Runner) RunAll(cells []Cell, jobs int) []CellResult {
 		}
 		close(work)
 		wg.Wait()
+	} else {
+		for _, c := range uniq {
+			results[c] = r.Run(c)
+		}
 	}
 	out := make([]CellResult, len(cells))
 	for i, c := range cells {
-		out[i] = r.Run(c)
+		out[i] = results[c]
 	}
 	return out
 }
@@ -587,7 +667,16 @@ func (r *Runner) RunAll(cells []Cell, jobs int) []CellResult {
 // the (immutable) Cfg and Faults, which is what makes parallel fan-out
 // safe. attempt distinguishes the retry's fault-injection draws from the
 // first try's; with an empty FaultPlan it has no effect at all.
-func (r *Runner) simulate(c Cell, attempt int, span *telemetry.Span) (CellResult, error) {
+//
+// Cancellation checkpoints: ctx is polled between the construct/warmup/
+// measure/solve phases here, per stream during construction, and between
+// pricing rounds inside Machine.RunContext. Every checkpoint ends the
+// phase span it is in before returning, so a cancelled cell's trace is
+// still well formed.
+func (r *Runner) simulate(ctx context.Context, c Cell, attempt int, span *telemetry.Span) (CellResult, error) {
+	if err := ctxErr(ctx); err != nil {
+		return CellResult{}, err
+	}
 	if r.Faults.PanicRate > 0 {
 		rng := sim.NewRNG(faultSeed(r.Cfg.Seed, c, -1, attempt))
 		if rng.Bool(r.Faults.PanicRate) {
@@ -627,6 +716,10 @@ func (r *Runner) simulate(c Cell, attempt int, span *telemetry.Span) (CellResult
 	fps := make([]footprinter, m.NumStreams())
 	gens := make([]*workload.Generator, m.NumStreams())
 	for i, s := range m.Streams() {
+		if err := ctxErr(ctx); err != nil {
+			construct.End()
+			return CellResult{}, err
+		}
 		opts := apprt.AllocOptions{PID: i, LargePages: largePages}
 		if c.Ruby {
 			rt, err := apprt.NewRuby(s.Env, c.Alloc, prof, r.Cfg.Scale, c.RestartEvery, opts)
@@ -690,8 +783,11 @@ func (r *Runner) simulate(c Cell, attempt int, span *telemetry.Span) (CellResult
 	construct.End()
 	warm := span.Child("warmup", "phase")
 	m.PriceSetup()
-	m.Run(drivers, warmup, 0)
+	err = m.RunContext(ctx, drivers, warmup, 0)
 	warm.End()
+	if err != nil {
+		return CellResult{}, err
+	}
 	for _, fp := range fps {
 		fp.ResetFootprint()
 	}
@@ -700,9 +796,15 @@ func (r *Runner) simulate(c Cell, attempt int, span *telemetry.Span) (CellResult
 		callsBefore[i] = g.Stats()
 	}
 	meas := span.Child("measure", "phase")
-	m.Run(drivers, 0, measure)
+	err = m.RunContext(ctx, drivers, 0, measure)
 	meas.End()
+	if err != nil {
+		return CellResult{}, err
+	}
 
+	if err := ctxErr(ctx); err != nil {
+		return CellResult{}, err
+	}
 	slv := span.Child("solve", "phase")
 	res := m.Solve()
 	slv.End()

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 
 	"webmm/internal/cache"
@@ -211,9 +212,22 @@ func (m *Machine) PriceMeasured() {
 // generate slices that are priced interleaved, modelling the concurrent
 // execution of the runtime processes.
 func (m *Machine) Run(drivers []Driver, warmup, measure int) {
+	_ = m.RunContext(context.Background(), drivers, warmup, measure)
+}
+
+// RunContext is Run with cooperative cancellation: between pricing rounds
+// the loop polls ctx through a sim.Checkpoint and returns ctx's error once
+// it is cancelled, leaving the machine's counters at whatever the completed
+// rounds accumulated. A cancelled machine must not be Solved or reused —
+// the caller reports the cell failed and discards it. An uncancellable ctx
+// (context.Background) makes the guard a nil *Checkpoint, so the hot loop
+// pays one nil check per pricing round — BenchmarkFig1Cell cannot tell the
+// difference.
+func (m *Machine) RunContext(ctx context.Context, drivers []Driver, warmup, measure int) error {
 	if len(drivers) != len(m.streams) {
 		panic(fmt.Sprintf("machine: %d drivers for %d streams", len(drivers), len(m.streams)))
 	}
+	cp := sim.NewCheckpoint(ctx)
 	done := m.done
 	for round := 0; round < warmup+measure; round++ {
 		m.measuring = round >= warmup
@@ -222,6 +236,9 @@ func (m *Machine) Run(drivers []Driver, warmup, measure int) {
 		}
 		remaining := len(drivers)
 		for remaining > 0 {
+			if cp.Hit() {
+				return cp.Err()
+			}
 			for i, d := range drivers {
 				if done[i] {
 					continue
@@ -238,6 +255,7 @@ func (m *Machine) Run(drivers []Driver, warmup, measure int) {
 		}
 		m.sample(m.measuring)
 	}
+	return nil
 }
 
 // sample delivers one RoundSample — the per-class counter delta since the

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -66,6 +67,39 @@ func runDrivers(t *testing.T, p Platform, nCores int, mk func(*sim.Env) Driver, 
 	m.PriceSetup()
 	m.Run(drivers, warm, meas)
 	return m.Solve()
+}
+
+// TestRunContextCancellation: a cancelled context stops the round loop at
+// its next checkpoint and surfaces the context's error; an uncancellable
+// context runs to completion with a nil error and results identical to Run.
+func TestRunContextCancellation(t *testing.T) {
+	build := func() (*Machine, []Driver) {
+		m := New(Xeon(), 4, 8*mem.KiB, 128*mem.KiB, 42)
+		var drivers []Driver
+		for _, s := range m.Streams() {
+			drivers = append(drivers, newStreamingDriver(s.Env, 64*mem.KiB))
+		}
+		m.PriceSetup()
+		return m, drivers
+	}
+
+	m, drivers := build()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m.RunContext(ctx, drivers, 2, 3); err != context.Canceled {
+		t.Fatalf("RunContext on a cancelled context returned %v, want context.Canceled", err)
+	}
+
+	m2, d2 := build()
+	if err := m2.RunContext(context.Background(), d2, 2, 3); err != nil {
+		t.Fatalf("uncancellable RunContext returned %v", err)
+	}
+	m3, d3 := build()
+	m3.Run(d3, 2, 3)
+	r2, r3 := m2.Solve(), m3.Solve()
+	if r2.Throughput != r3.Throughput || r2.Totals != r3.Totals {
+		t.Fatal("RunContext(Background) differs from Run")
+	}
 }
 
 func TestDeterminism(t *testing.T) {

@@ -1,0 +1,537 @@
+// Package server runs webmm as a long-lived HTTP experiment service. The
+// paper's subject is servers that stay up under heavy concurrent
+// transaction load; this package puts the reproduction itself in that
+// shape: requests queue cells or whole experiments onto a bounded worker
+// pool, every request shares one on-disk cell cache and one telemetry
+// registry, progress streams back per cell, and SIGTERM drains in-flight
+// work instead of dropping it.
+//
+// The service only works because cell cancellation is cooperative
+// (Runner.RunContext → Machine.RunContext → sim.Checkpoint): a client that
+// disconnects, a per-request timeout, or shutdown past the drain budget
+// stops the simulation on its own goroutine. Nothing is abandoned, so a
+// server that has served a million requests holds exactly its worker-pool
+// goroutines.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"webmm/internal/apprt"
+	"webmm/internal/experiments"
+	"webmm/internal/machine"
+	"webmm/internal/telemetry"
+	"webmm/internal/workload"
+)
+
+// Config configures a Server. The zero value is usable: it listens on a
+// random localhost port with GOMAXPROCS workers, a 2×workers queue, the
+// default simulation configuration, and no cell cache.
+type Config struct {
+	// Addr is the listen address for ListenAndServe ("host:port";
+	// ":0" picks a free port). Default "127.0.0.1:0".
+	Addr string
+	// Jobs is the number of worker goroutines executing requests.
+	// Default GOMAXPROCS.
+	Jobs int
+	// QueueDepth bounds admissions beyond the running jobs; a request
+	// arriving with the queue full is rejected with 429 + Retry-After.
+	// Default 2×Jobs.
+	QueueDepth int
+	// Sim is the default simulation configuration; requests may override
+	// scale/warmup/measure/seed per call. Zero fields are filled from
+	// experiments.DefaultConfig.
+	Sim experiments.Config
+	// CacheDir, when non-empty, is the on-disk cell cache shared by every
+	// runner the server creates: a cell simulated for one request (or by
+	// a previous process) is served from disk for the next.
+	CacheDir string
+	// CellTimeout bounds each cell attempt's wall time (0 = unbounded).
+	// Requests may tighten it per call, never widen it.
+	CellTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: when it expires, in-flight
+	// requests are cancelled (cooperatively) instead of drained. Default
+	// 60s.
+	DrainTimeout time.Duration
+	// Tel is the telemetry session backing /metrics. nil means a live
+	// in-memory session (telemetry.NewLive).
+	Tel *telemetry.Telemetry
+}
+
+// runnerKey identifies one shared Runner. Runners memoize per fixed
+// (Config, faults, timeout), so requests agreeing on those share memo and
+// singleflight; all runners share the server's cell cache and telemetry.
+type runnerKey struct {
+	cfg     experiments.Config
+	faults  string
+	timeout time.Duration
+}
+
+// Server is the webmm experiment service. Create with New, serve with
+// ListenAndServe (which drains on context cancellation) or mount Handler
+// on an existing mux; Close drains the worker pool.
+type Server struct {
+	cfg   Config
+	cache *experiments.CellCache
+	tel   *telemetry.Telemetry
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  bool
+	runners map[runnerKey]*experiments.Runner
+
+	ready chan struct{} // closed once addr is bound
+	addr  string        // valid after ready
+
+	started  time.Time
+	draining atomic.Bool
+	inflight atomic.Int64
+	accepted atomic.Uint64
+	rejected atomic.Uint64
+	finished atomic.Uint64
+}
+
+// New builds a server and starts its worker pool (so Handler is usable
+// without ListenAndServe). Callers must Close it to stop the workers.
+func New(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * cfg.Jobs
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 60 * time.Second
+	}
+	def := experiments.DefaultConfig()
+	if cfg.Sim.Scale == 0 {
+		cfg.Sim.Scale = def.Scale
+	}
+	if cfg.Sim.Scale < 1 || cfg.Sim.Scale&(cfg.Sim.Scale-1) != 0 {
+		return nil, fmt.Errorf("server: scale %d must be a power of two", cfg.Sim.Scale)
+	}
+	if cfg.Sim.Measure == 0 {
+		cfg.Sim.Warmup, cfg.Sim.Measure = def.Warmup, def.Measure
+	}
+	if cfg.Sim.Seed == 0 {
+		cfg.Sim.Seed = def.Seed
+	}
+	s := &Server{
+		cfg:     cfg,
+		tel:     cfg.Tel,
+		queue:   make(chan *job, cfg.QueueDepth),
+		runners: make(map[runnerKey]*experiments.Runner),
+		ready:   make(chan struct{}),
+		started: time.Now(),
+	}
+	if s.tel == nil {
+		s.tel = telemetry.NewLive()
+	}
+	if cfg.CacheDir != "" {
+		cc, err := experiments.NewCellCache(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = cc
+	}
+	s.wg.Add(cfg.Jobs)
+	for i := 0; i < cfg.Jobs; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Close drains the worker pool: no new jobs are admitted, queued and
+// running jobs finish, and the workers exit. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// runnerFor returns (creating on first use) the shared runner for one
+// configuration. Every runner shares the server's cache and telemetry.
+func (s *Server) runnerFor(k runnerKey) (*experiments.Runner, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.runners[k]; ok {
+		return r, nil
+	}
+	plan, err := experiments.ParseFaults(k.faults)
+	if err != nil {
+		return nil, err
+	}
+	r := experiments.NewRunner(k.cfg)
+	r.Cache = s.cache
+	r.Tel = s.tel
+	r.Faults = plan
+	r.Timeout = k.timeout
+	s.runners[k] = r
+	return r, nil
+}
+
+// enqueue admits a job, reporting false when the queue is full or the
+// server is draining.
+func (s *Server) enqueue(j *job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.draining.Load() {
+		return false
+	}
+	select {
+	case s.queue <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.inflight.Add(1)
+		j.execute()
+		s.inflight.Add(-1)
+		s.finished.Add(1)
+	}
+}
+
+// Addr blocks until the listener is bound and returns its address. Only
+// meaningful with ListenAndServe.
+func (s *Server) Addr() string {
+	<-s.ready
+	return s.addr
+}
+
+// ListenAndServe serves HTTP until ctx is cancelled, then shuts down
+// gracefully: the listener closes, in-flight requests drain (bounded by
+// DrainTimeout, after which their cells are cooperatively cancelled), the
+// worker pool stops, and nil is returned for a clean drain.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.addr = ln.Addr().String()
+	close(s.ready)
+
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		s.Close()
+		return err // listener failed outright
+	case <-ctx.Done():
+	}
+	s.draining.Store(true)
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	serr := srv.Shutdown(dctx)
+	if serr != nil {
+		// Drain budget exceeded: force-close connections, which cancels
+		// the request contexts and (cooperatively) the cells under them.
+		_ = srv.Close()
+	}
+	<-errc // http.ErrServerClosed
+	s.Close()
+	return serr
+}
+
+// Handler returns the service's routes: POST /run (cells and experiments,
+// streamed NDJSON progress), GET /metrics (Prometheus text), GET /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/", s.handleIndex)
+	return mux
+}
+
+// runRequest is the POST /run body. Exactly one of Experiment or
+// (Alloc, Workload) selects the work; zero config fields inherit the
+// server's defaults.
+type runRequest struct {
+	// Experiment names a registered experiment ("fig1", "table4", ...).
+	Experiment string `json:"experiment,omitempty"`
+
+	// Cell selection (ignored when Experiment is set).
+	Platform string `json:"platform,omitempty"`
+	Alloc    string `json:"alloc,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	Cores    int    `json:"cores,omitempty"`
+	Ruby     bool   `json:"ruby,omitempty"`
+	// RestartEvery is the Ruby restart period in the paper's full-scale
+	// transactions (0 = never); it is rescaled exactly like the figures.
+	RestartEvery int `json:"restart_every,omitempty"`
+
+	// Config overrides (0 = server default).
+	Scale          int    `json:"scale,omitempty"`
+	Warmup         int    `json:"warmup,omitempty"`
+	Measure        int    `json:"measure,omitempty"`
+	Seed           uint64 `json:"seed,omitempty"`
+	XeonLargePages bool   `json:"xeon_large_pages,omitempty"`
+	// Faults is a fault-injection plan spec (see experiments.ParseFaults);
+	// an active plan bypasses the shared cell cache, exactly as the CLI
+	// does.
+	Faults string `json:"faults,omitempty"`
+	// TimeoutMS bounds each cell attempt; it can only tighten the
+	// server's CellTimeout.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// event is one NDJSON progress line.
+type event map[string]any
+
+// job is one admitted request: the worker executes it and streams events
+// back to the handler, which owns the connection. events is closed by the
+// worker; the handler always drains it, so sends cannot deadlock.
+type job struct {
+	ctx    context.Context
+	r      *experiments.Runner
+	cell   experiments.Cell
+	desc   experiments.Descriptor
+	isExp  bool
+	events chan event
+}
+
+// emit hands one progress event to the handler. A dead client's context is
+// cancelled, so emission never blocks on a connection nobody reads.
+func (j *job) emit(e event) {
+	select {
+	case j.events <- e:
+	case <-j.ctx.Done():
+	}
+}
+
+func (j *job) execute() {
+	defer close(j.events)
+	if j.ctx.Err() != nil {
+		return // client left while queued; nothing to simulate
+	}
+	j.emit(event{"event": "running"})
+	if !j.isExp {
+		res := j.r.RunContext(j.ctx, j.cell)
+		j.emit(event{"event": "result", "cell": j.cell.Key(), "failed": res.Failed, "result": res})
+		return
+	}
+	// Experiments run their planned cells one at a time so each finished
+	// cell becomes a progress event; cross-request parallelism comes from
+	// the worker pool, and the memo dedups cells shared between requests.
+	var cells []experiments.Cell
+	if j.desc.Cells != nil {
+		cells = j.desc.Cells(j.r)
+	}
+	for i, c := range cells {
+		res := j.r.RunContext(j.ctx, c)
+		j.emit(event{"event": "cell", "cell": c.Key(), "failed": res.Failed,
+			"done": i + 1, "total": len(cells)})
+		if j.ctx.Err() != nil {
+			j.emit(event{"event": "error", "error": j.ctx.Err().Error()})
+			return
+		}
+	}
+	out := j.desc.Run(j.r)
+	var tables []string
+	for _, t := range out.Tables {
+		tables = append(tables, t.String())
+	}
+	for _, ch := range out.Charts {
+		tables = append(tables, ch.String())
+	}
+	done := event{"event": "done", "experiment": j.desc.Name, "tables": tables}
+	if fails := j.r.Failures(); len(fails) > 0 {
+		var msgs []string
+		for _, f := range fails {
+			msgs = append(msgs, f.Error())
+		}
+		done["failures"] = msgs
+	}
+	j.emit(done)
+}
+
+// buildJob validates a request and resolves its runner. Validation happens
+// before admission so a bad request costs a 400, never a queue slot.
+func (s *Server) buildJob(ctx context.Context, req runRequest) (*job, error) {
+	cfg := s.cfg.Sim
+	if req.Scale != 0 {
+		if req.Scale < 1 || req.Scale&(req.Scale-1) != 0 {
+			return nil, fmt.Errorf("scale %d must be a power of two", req.Scale)
+		}
+		cfg.Scale = req.Scale
+	}
+	if req.Warmup != 0 {
+		cfg.Warmup = req.Warmup
+	}
+	if req.Measure != 0 {
+		if req.Measure < 1 {
+			return nil, fmt.Errorf("measure %d must be >= 1", req.Measure)
+		}
+		cfg.Measure = req.Measure
+	}
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+	if req.XeonLargePages {
+		cfg.XeonLargePages = true
+	}
+	timeout := s.cfg.CellTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; timeout == 0 || d < timeout {
+			timeout = d
+		}
+	}
+	if _, err := experiments.ParseFaults(req.Faults); err != nil {
+		return nil, err
+	}
+	r, err := s.runnerFor(runnerKey{cfg: cfg, faults: req.Faults, timeout: timeout})
+	if err != nil {
+		return nil, err
+	}
+	j := &job{ctx: ctx, r: r, events: make(chan event, 4)}
+	if req.Experiment != "" {
+		d, err := experiments.ExperimentByName(req.Experiment)
+		if err != nil {
+			return nil, err
+		}
+		j.desc, j.isExp = d, true
+		return j, nil
+	}
+	if req.Alloc == "" || req.Workload == "" && !req.Ruby {
+		return nil, errors.New(`request needs "experiment" or "alloc"+"workload"`)
+	}
+	if req.Platform == "" {
+		req.Platform = "xeon"
+	}
+	if req.Cores == 0 {
+		req.Cores = 8
+	}
+	if req.Workload == "" && req.Ruby {
+		req.Workload = workload.Rails().Name
+	}
+	if _, err := machine.PlatformByName(req.Platform); err != nil {
+		return nil, err
+	}
+	if _, err := workload.ByName(req.Workload); err != nil {
+		return nil, err
+	}
+	if _, err := apprt.AllocCodeSize(req.Alloc); err != nil {
+		return nil, err
+	}
+	restart := 0
+	if req.Ruby {
+		restart = r.RubyRestartPeriod(req.RestartEvery)
+	}
+	j.cell = experiments.Cell{
+		Platform: req.Platform, Alloc: req.Alloc, Workload: req.Workload,
+		Cores: req.Cores, Ruby: req.Ruby, RestartEvery: restart,
+	}
+	return j, nil
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req runRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	j, err := s.buildJob(r.Context(), req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if !s.enqueue(j) {
+		s.rejected.Add(1)
+		s.tel.Metrics().Counter("webmm_server_rejected_total",
+			"requests rejected with 429 because the admission queue was full", nil).Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "admission queue full; retry later")
+		return
+	}
+	s.accepted.Add(1)
+	s.tel.Metrics().Counter("webmm_server_requests_total",
+		"requests admitted to the worker pool", nil).Inc()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	write := func(e event) {
+		_ = enc.Encode(e)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	write(event{"event": "queued", "queue_depth": len(s.queue), "queue_cap": cap(s.queue)})
+	// Drain until the worker closes the channel — unconditionally, so the
+	// worker's sends always complete even if the client is gone.
+	for e := range j.events {
+		write(e)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.tel.Metrics().WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":    "ok",
+		"uptime_s":  time.Since(s.started).Seconds(),
+		"workers":   s.cfg.Jobs,
+		"queue":     len(s.queue),
+		"queue_cap": cap(s.queue),
+		"inflight":  s.inflight.Load(),
+		"accepted":  s.accepted.Load(),
+		"finished":  s.finished.Load(),
+		"rejected":  s.rejected.Load(),
+		"draining":  s.draining.Load(),
+	})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		httpError(w, http.StatusNotFound, "not found")
+		return
+	}
+	fmt.Fprint(w, `webmm experiment service
+
+POST /run      {"platform":"xeon","alloc":"ddmalloc","workload":"phpBB","cores":8}
+               {"experiment":"fig1","scale":64}
+               -> NDJSON progress stream (queued, running, cell..., result|done)
+GET  /metrics  Prometheus text exposition of the shared telemetry registry
+GET  /healthz  queue and worker status
+`)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

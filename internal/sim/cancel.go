@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"context"
+	"time"
+)
+
+// checkpointStride is how many Hit calls one context poll covers. Polling a
+// context's done channel is a synchronized load, so the simulation loops
+// amortize it: the round loop stays within a handful of instructions per
+// round on the uncancellable path and one channel poll per stride rounds on
+// the cancellable one.
+const checkpointStride = 4
+
+// Checkpoint is a cooperative-cancellation guard for simulation loops. The
+// simulator has no preemption points — a cell runs on its caller's
+// goroutine until it finishes — so bounded cancellation latency comes from
+// the loops themselves polling a Checkpoint between rounds.
+//
+// Deadlines are checked against the clock, not just the context's done
+// channel: context.WithTimeout fires through a runtime timer, and a tight
+// simulation loop can keep that timer from being serviced until after the
+// cell would have finished. Comparing time.Now against ctx.Deadline makes
+// an expired budget fire at the next poll regardless of timer delivery.
+//
+// A nil *Checkpoint is valid and never fires; NewCheckpoint returns nil for
+// contexts that can never be cancelled (context.Background and friends), so
+// an uncancellable run pays only a nil check per poll. A Checkpoint is
+// owned by one goroutine; it is not safe for concurrent use.
+type Checkpoint struct {
+	ctx      context.Context
+	done     <-chan struct{}
+	deadline time.Time
+	hasDL    bool
+	count    uint32
+	fired    bool
+}
+
+// NewCheckpoint returns a guard polling ctx, or nil when ctx can never be
+// cancelled.
+func NewCheckpoint(ctx context.Context) *Checkpoint {
+	if ctx == nil {
+		return nil
+	}
+	done := ctx.Done()
+	if done == nil {
+		return nil
+	}
+	cp := &Checkpoint{ctx: ctx, done: done}
+	cp.deadline, cp.hasDL = ctx.Deadline()
+	return cp
+}
+
+// Hit reports whether the context has been cancelled or its deadline has
+// passed, actually polling once every checkpointStride calls. Once it has
+// fired it keeps returning true without polling again.
+func (c *Checkpoint) Hit() bool {
+	if c == nil {
+		return false
+	}
+	if c.fired {
+		return true
+	}
+	if c.count++; c.count < checkpointStride {
+		return false
+	}
+	c.count = 0
+	select {
+	case <-c.done:
+		c.fired = true
+		return true
+	default:
+	}
+	if c.hasDL && !time.Now().Before(c.deadline) {
+		c.fired = true
+		return true
+	}
+	return false
+}
+
+// Err returns the cancellation cause after Hit has fired, nil before. When
+// the deadline passed before the context's own timer was serviced, the
+// context still reports no error; the guard reports DeadlineExceeded itself
+// so an expired budget is never mistaken for success.
+func (c *Checkpoint) Err() error {
+	if c == nil || !c.fired {
+		return nil
+	}
+	if err := c.ctx.Err(); err != nil {
+		return err
+	}
+	return context.DeadlineExceeded
+}

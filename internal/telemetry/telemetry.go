@@ -69,6 +69,14 @@ func New(opts Options) (*Telemetry, error) {
 	return t, nil
 }
 
+// NewLive returns a session with a live metrics registry and allocation
+// profile but no file outputs. It serves long-running processes (webmm
+// serve) that expose the registry over HTTP instead of writing files at
+// exit; Close flushes nothing and never fails.
+func NewLive() *Telemetry {
+	return &Telemetry{metrics: NewRegistry(), alloc: &AllocProfile{}}
+}
+
 // Enabled reports whether this is a live session (false for Nop).
 func (t *Telemetry) Enabled() bool { return t != nil }
 
@@ -122,7 +130,10 @@ func (t *Telemetry) Close() error {
 		}
 	}
 	if t.tracer != nil {
-		keep(t.tracer.Flush())
+		// Close (not just Flush) the tracer first: once the file is
+		// closed, a straggling span or counter sample must be dropped by
+		// the tracer, not written into a closed descriptor.
+		keep(t.tracer.Close())
 		keep(t.traceFile.Close())
 	}
 	if t.opts.MetricsPath != "" {

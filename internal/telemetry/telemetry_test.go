@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -70,6 +71,68 @@ func TestTraceRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(text, `"ph":"C"`) {
 		t.Errorf("counter sample missing:\n%s", text)
+	}
+}
+
+// TestTracerCloseRacesLateEvents races cell teardown (span End, counter
+// samples) against Tracer.Close, the shape a server shutdown takes when a
+// cancelled cell's trace spans unwind while telemetry is being torn down.
+// Under -race this proves the closed flag is properly synchronized; the
+// assertions prove late events are dropped and counted, never written, and
+// that the file still validates.
+func TestTracerCloseRacesLateEvents(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	tel, err := New(Options{TracePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tel.Tracer()
+	// One event before the race so the file is never empty (an empty trace
+	// fails validation) even if Close wins against every writer.
+	tr.StartSpan("setup", "cell").End()
+
+	const writers = 8
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for i := 0; i < writers; i++ {
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 100; j++ {
+				sp := tr.StartSpan("cell", "cell")
+				sp.Child("solve", "phase").End()
+				tr.Counter(sp.TID(), "hw", map[string]float64{"mm": 1})
+				sp.End()
+			}
+		}()
+	}
+	close(start)
+	if err := tel.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if got := tr.Events() + tr.Dropped(); got != writers*300+1 {
+		t.Fatalf("events (%d) + dropped (%d) = %d, want %d",
+			tr.Events(), tr.Dropped(), got, writers*300+1)
+	}
+	// Everything that made it into the file must be well formed: Close won
+	// the race cleanly, no half-written lines.
+	events, err := ValidateTraceFile(path)
+	if err != nil {
+		t.Fatalf("trace does not validate after racing close: %v", err)
+	}
+	if uint64(events) != tr.Events() {
+		t.Fatalf("file holds %d events, tracer wrote %d", events, tr.Events())
+	}
+	// Close is idempotent and a late Flush is a no-op.
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
 	}
 }
 

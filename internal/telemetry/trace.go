@@ -20,13 +20,15 @@ import (
 // disabled-path story: hot code holds a possibly-nil tracer and calls it
 // unconditionally.
 type Tracer struct {
-	mu    sync.Mutex
-	w     *bufio.Writer
-	epoch time.Time
+	mu     sync.Mutex
+	w      *bufio.Writer
+	closed bool // under mu; set by Close, makes write drop events
+	epoch  time.Time
 
 	nextTID  atomic.Uint64
 	nextSpan atomic.Uint64
 	events   atomic.Uint64
+	dropped  atomic.Uint64
 }
 
 // traceEvent is one Chrome Trace Event Format record.
@@ -178,24 +180,60 @@ func (t *Tracer) Events() uint64 {
 	return t.events.Load()
 }
 
+// Dropped returns the number of events discarded because they arrived
+// after Close.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
 func (t *Tracer) write(ev traceEvent) {
 	data, err := json.Marshal(ev)
 	if err != nil {
 		return
 	}
 	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		return
+	}
 	t.w.Write(data)
 	t.w.WriteByte('\n')
 	t.mu.Unlock()
 	t.events.Add(1)
 }
 
-// Flush drains buffered events to the underlying writer.
+// Flush drains buffered events to the underlying writer. After Close it is
+// a no-op.
 func (t *Tracer) Flush() error {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	return t.w.Flush()
+}
+
+// Close flushes buffered events and marks the tracer closed: any event
+// arriving afterwards — a span ended by a cell that outlived its run, a
+// stray counter sample — is counted in Dropped and discarded instead of
+// being written through a buffer whose file the owner is about to (or
+// already did) close. Close is idempotent and safe on nil.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
 	return t.w.Flush()
 }

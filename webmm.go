@@ -33,6 +33,7 @@
 package webmm
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -285,6 +286,7 @@ type studyConfig struct {
 	cacheDir string
 	faults   string
 	timeout  time.Duration
+	ctx      context.Context
 	tel      *Telemetry
 }
 
@@ -347,9 +349,20 @@ func WithFaults(spec string) StudyOption {
 }
 
 // WithTimeout bounds each cell's simulation wall time; an exceeded cell is
-// reported failed instead of stalling the study.
+// reported failed instead of stalling the study. Cancellation is
+// cooperative — the simulation stops at its next checkpoint on its own
+// goroutine; nothing is abandoned — so a timed-out cell costs no residual
+// CPU, memory, or telemetry writes.
 func WithTimeout(d time.Duration) StudyOption {
 	return func(c *studyConfig) error { c.timeout = d; return nil }
+}
+
+// WithContext attaches a context to the study: cancelling it cooperatively
+// stops in-flight cells (they are reported failed) and fails future ones.
+// Use it to bound a whole study by a deadline or to wire the study into a
+// server request's lifetime.
+func WithContext(ctx context.Context) StudyOption {
+	return func(c *studyConfig) error { c.ctx = ctx; return nil }
 }
 
 // WithXeonLargePages enables DDmalloc's large-page optimization on Xeon
@@ -396,6 +409,7 @@ func NewStudy(opts ...StudyOption) (*Study, error) {
 		r.Faults = plan
 	}
 	r.Timeout = c.timeout
+	r.Ctx = c.ctx
 	r.Tel = c.tel
 	return &Study{
 		r:        r,
