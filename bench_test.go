@@ -125,6 +125,33 @@ func BenchmarkFig1Cell(b *testing.B) {
 	}
 }
 
+// BenchmarkFig1CellFullLong / BenchmarkFig1CellSampled run the Figure 1
+// cell with a long measurement phase (-measure 64 at -scale 32) under both
+// fidelity modes. The pair demonstrates the sampled mode's speedup on the
+// long runs it exists for: with the default plan (period 16, 1 detail + 1
+// warming round per period) sampled executes 9 of the 65 round-units full
+// does, so sampled should run >= 5x faster at matching IPC (the <2%% error
+// bound is pinned by TestSampledFidelityIPCError).
+func benchFidelityCell(b *testing.B, fidelity string) {
+	b.Helper()
+	wl := workload.MediaWikiRW().Name
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(experiments.Config{
+			Scale: 32, Warmup: 1, Measure: 64, Seed: 20090615, Fidelity: fidelity,
+		})
+		cr := r.Run(experiments.Cell{
+			Platform: "xeon", Alloc: "default", Workload: wl, Cores: 8,
+		})
+		if cr.Failed {
+			b.Fatal("cell failed")
+		}
+		b.ReportMetric(cr.Res.IPC(), "ipc")
+	}
+}
+
+func BenchmarkFig1CellFullLong(b *testing.B) { benchFidelityCell(b, "full") }
+func BenchmarkFig1CellSampled(b *testing.B)  { benchFidelityCell(b, "sampled") }
+
 func BenchmarkFig1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()

@@ -89,6 +89,7 @@ func run() int {
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation workers for the cell fan-out (1 = serial)")
 		cellDir  = flag.String("cellcache", "", "directory of the on-disk cell-result cache (empty = disabled)")
 		xeonLP   = flag.Bool("xeon-large-pages", false, "enable DDmalloc large pages on Xeon (paper's +11.7% variant)")
+		fidelity = flag.String("fidelity", "full", "measurement fidelity: full (bit-reproducible) or sampled (SMARTS-style sampling; much faster on long -measure runs)")
 		platform = flag.String("platform", "xeon", "cell: platform (xeon, niagara)")
 		alloc    = flag.String("alloc", "ddmalloc", "cell: allocator (see the list below)")
 		wl       = flag.String("workload", "MediaWiki(ro)", "cell: workload name")
@@ -149,9 +150,15 @@ func run() int {
 		return 2
 	}
 
+	switch *fidelity {
+	case "", experiments.FidelityFull, experiments.FidelitySampled:
+	default:
+		fmt.Fprintf(os.Stderr, "webmm: unknown -fidelity %q (want full or sampled)\n", *fidelity)
+		return 2
+	}
 	cfg := experiments.Config{
 		Scale: *scale, Warmup: *warmup, Measure: *measure,
-		Seed: *seed, XeonLargePages: *xeonLP,
+		Seed: *seed, XeonLargePages: *xeonLP, Fidelity: *fidelity,
 	}
 	// SIGINT/SIGTERM cancels in-flight cells cooperatively: they fail,
 	// the failure report prints, and the run exits nonzero — no abandoned

@@ -19,16 +19,17 @@ import (
 func serveCmd(args []string) int {
 	fs := flag.NewFlagSet("webmm serve", flag.ExitOnError)
 	var (
-		addr    = fs.String("addr", "127.0.0.1:8080", "listen address (\":0\" picks a free port)")
-		jobs    = fs.Int("jobs", runtime.GOMAXPROCS(0), "worker goroutines executing requests")
-		queue   = fs.Int("queue", 0, "admission queue depth beyond the workers (0 = 2×jobs); overflow returns 429")
-		scale   = fs.Int("scale", 32, "default workload scale divisor (power of two; requests may override)")
-		warmup  = fs.Int("warmup", 2, "default warmup transactions per stream")
-		measure = fs.Int("measure", 3, "default measured transactions per stream")
-		seed    = fs.Uint64("seed", 20090615, "default random seed")
-		cellDir = fs.String("cellcache", "", "on-disk cell cache shared by all requests (empty = disabled)")
-		timeout = fs.Duration("timeout", 0, "per-cell wall-clock budget (0 = unlimited); requests may tighten it")
-		drain   = fs.Duration("drain-timeout", 60*time.Second, "graceful-shutdown budget before in-flight cells are cancelled")
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (\":0\" picks a free port)")
+		jobs     = fs.Int("jobs", runtime.GOMAXPROCS(0), "worker goroutines executing requests")
+		queue    = fs.Int("queue", 0, "admission queue depth beyond the workers (0 = 2×jobs); overflow returns 429")
+		scale    = fs.Int("scale", 32, "default workload scale divisor (power of two; requests may override)")
+		warmup   = fs.Int("warmup", 2, "default warmup transactions per stream")
+		measure  = fs.Int("measure", 3, "default measured transactions per stream")
+		seed     = fs.Uint64("seed", 20090615, "default random seed")
+		fidelity = fs.String("fidelity", "full", "default measurement fidelity: full or sampled")
+		cellDir  = fs.String("cellcache", "", "on-disk cell cache shared by all requests (empty = disabled)")
+		timeout  = fs.Duration("timeout", 0, "per-cell wall-clock budget (0 = unlimited); requests may tighten it")
+		drain    = fs.Duration("drain-timeout", 60*time.Second, "graceful-shutdown budget before in-flight cells are cancelled")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(),
@@ -52,6 +53,7 @@ SIGTERM drains in-flight cells (bounded by -drain-timeout) and exits 0.
 		QueueDepth: *queue,
 		Sim: experiments.Config{
 			Scale: *scale, Warmup: *warmup, Measure: *measure, Seed: *seed,
+			Fidelity: *fidelity,
 		},
 		CacheDir:     *cellDir,
 		CellTimeout:  *timeout,

@@ -110,7 +110,7 @@ type Allocator struct {
 	// bucketArr is the simulated address of the bucket-head array.
 	bucketArr mem.Addr
 
-	byPayload map[mem.Addr]*block
+	byPayload *ptrmap
 	huge      map[mem.Addr]mem.Mapping
 
 	// Fast cache: per-exact-size LIFO lists of parked blocks. cacheArr
@@ -118,7 +118,7 @@ type Allocator struct {
 	// the parked blocks' records.
 	cache      [numCacheLists]heap.FreeList
 	cacheArr   mem.Addr
-	cacheMeta  map[mem.Addr]*block
+	cacheMeta  *ptrmap
 	cacheBytes uint64
 
 	mappedBytes uint64
@@ -130,9 +130,9 @@ type Allocator struct {
 func New(env *sim.Env) *Allocator {
 	a := &Allocator{
 		env:       env,
-		byPayload: make(map[mem.Addr]*block),
+		byPayload: newPtrmap(),
 		huge:      make(map[mem.Addr]mem.Mapping),
-		cacheMeta: make(map[mem.Addr]*block),
+		cacheMeta: newPtrmap(),
 	}
 	meta := env.AS.Map(8*mem.KiB, 0, mem.SmallPages)
 	a.bucketArr = meta.Base
@@ -300,10 +300,9 @@ func (a *Allocator) Malloc(size uint64) heap.Ptr {
 		a.env.Read(a.cacheHeadAddr(ci), 8, sim.ClassAlloc)
 		if p := a.cache[ci].Pop(); p != 0 {
 			a.env.Read(p, 8, sim.ClassAlloc) // link word
-			b := a.cacheMeta[p]
-			delete(a.cacheMeta, p)
+			b, _ := a.cacheMeta.take(p)
 			a.cacheBytes -= b.size
-			a.byPayload[p] = b
+			a.byPayload.put(p, b)
 			return p
 		}
 	}
@@ -377,7 +376,7 @@ func (a *Allocator) Malloc(size uint64) heap.Ptr {
 	b.free = false
 	a.env.Write(b.addr, headerSize, sim.ClassAlloc)
 	p := b.addr + headerSize
-	a.byPayload[p] = b
+	a.byPayload.put(p, b)
 	return p
 }
 
@@ -415,11 +414,10 @@ func (a *Allocator) Free(p heap.Ptr) {
 		delete(a.huge, p)
 		return
 	}
-	b, ok := a.byPayload[p]
+	b, ok := a.byPayload.take(p)
 	if !ok {
 		panic(fmt.Sprintf("zend: free of unknown payload %#x", p))
 	}
-	delete(a.byPayload, p)
 
 	// Fast-cache path: park small blocks for exact-size reuse; the
 	// boundary-tag free (with its coalescing) is deferred to the flush.
@@ -430,7 +428,7 @@ func (a *Allocator) Free(p heap.Ptr) {
 		a.env.Write(p, 8, sim.ClassAlloc) // link word
 		a.env.Write(a.cacheHeadAddr(ci), 8, sim.ClassAlloc)
 		a.cache[ci].Push(p)
-		a.cacheMeta[p] = b
+		a.cacheMeta.put(p, b)
 		a.cacheBytes += b.size
 		if a.cacheBytes > cacheByteLimit {
 			a.flushCache()
@@ -451,8 +449,7 @@ func (a *Allocator) flushCache() {
 				break
 			}
 			a.env.Read(p, 8, sim.ClassAlloc)
-			b := a.cacheMeta[p]
-			delete(a.cacheMeta, p)
+			b, _ := a.cacheMeta.take(p)
 			a.freeBlock(b)
 		}
 	}
@@ -529,7 +526,7 @@ func (a *Allocator) Realloc(p heap.Ptr, oldSize, newSize uint64) heap.Ptr {
 		return a.Malloc(newSize)
 	}
 	if _, isHuge := a.huge[p]; !isHuge {
-		b := a.byPayload[p]
+		b, _ := a.byPayload.get(p)
 		if b != nil {
 			trueSize := (newSize + headerSize + 7) &^ 7
 			a.env.Instr(20, sim.ClassAlloc)
@@ -577,11 +574,11 @@ func (a *Allocator) FreeAll() {
 	a.env.Write(a.bucketArr, numBuckets*8, sim.ClassAlloc)
 	a.env.Write(a.cacheArr, numCacheLists*8, sim.ClassAlloc)
 	a.buckets = [numBuckets]*block{}
-	a.byPayload = make(map[mem.Addr]*block)
+	a.byPayload = newPtrmap()
 	for i := range a.cache {
 		a.cache[i].Reset()
 	}
-	a.cacheMeta = make(map[mem.Addr]*block)
+	a.cacheMeta = newPtrmap()
 	a.cacheBytes = 0
 	for _, s := range a.segments {
 		a.env.Instr(costPerSegReset, sim.ClassAlloc)
@@ -615,10 +612,10 @@ func (a *Allocator) Segments() int { return len(a.segments) }
 // neighbours remain uncoalesced outside the fast cache. It exists for tests
 // and debugging.
 func (a *Allocator) CheckTiling() error {
-	cached := make(map[mem.Addr]bool, len(a.cacheMeta))
-	for p := range a.cacheMeta {
+	cached := make(map[mem.Addr]bool, a.cacheMeta.n)
+	a.cacheMeta.each(func(p mem.Addr, _ *block) {
 		cached[p] = true
-	}
+	})
 	for si, s := range a.segments {
 		addr := s.m.Base
 		var prev *block

@@ -75,11 +75,27 @@ type Cache struct {
 	mru   []uint8  // per-set way of the last hit or install (prediction only)
 	fill  []uint16 // per-set count of valid ways; ways == full
 
+	// sigw holds one signature byte per way, packed eight ways to a word,
+	// sigStride words per set: a lookup compares eight ways with one XOR
+	// and only tag-verifies the bytes that match the probe signature.
+	// Signatures are a pure lookup accelerator — every candidate is
+	// confirmed against the full tag, so outcomes cannot change.
+	sigw        []uint64
+	sigStride   int
+	sigLastMask uint64 // high-bit mask covering the last word's real ways
+
 	// Counters are cumulative for the life of the cache (Reset clears).
 	Hits, Misses       uint64
 	Writebacks         uint64
 	PrefetchInstalls   uint64
 	PrefetchUsefulHits uint64
+
+	// everDirty and everPf record whether any line was ever marked dirty
+	// or installed by a prefetcher. While both are false — true for the
+	// whole life of an L1 I-cache — every flags byte is zero, and
+	// AccessRun takes a lean loop that never touches the flags array and
+	// never reports dirty victims.
+	everDirty, everPf bool
 }
 
 const (
@@ -104,6 +120,45 @@ func promote(order uint64, w int) uint64 {
 	return order&^(uint64(1)<<(shift+4)-1) | low<<4 | uint64(w)
 }
 
+// sigOf returns line's one-byte signature. The multiply folds the line's
+// high bits — within a set, lines share their low (index) bits — into a byte
+// with a near-uniform distribution.
+func sigOf(line uint64) uint64 {
+	return line * 0x9e3779b97f4a7c15 >> 56
+}
+
+// findWay returns the way of set sn holding line, or -1. tags must be the
+// set's tag slice. The signature words narrow the search to ways whose
+// signature byte matches; each candidate is verified against the full tag,
+// and tags within a set are distinct, so the result is exactly what a linear
+// scan would find. (The SWAR byte-match can flag a false extra candidate
+// above a genuinely matching byte; the tag verify discards it.)
+func (c *Cache) findWay(sn int, line uint64, tags []uint64) int {
+	pat := sigOf(line) * 0x0101010101010101
+	sw := sn * c.sigStride
+	for k := 0; k < c.sigStride; k++ {
+		x := c.sigw[sw+k] ^ pat
+		m := (x - 0x0101010101010101) &^ x & 0x8080808080808080
+		if k == c.sigStride-1 {
+			m &= c.sigLastMask
+		}
+		for ; m != 0; m &= m - 1 {
+			w := k<<3 + bits.TrailingZeros64(m)>>3
+			if tags[w] == line {
+				return w
+			}
+		}
+	}
+	return -1
+}
+
+// setSig records line's signature for way w of set sn.
+func (c *Cache) setSig(sn, w int, line uint64) {
+	shift := uint(w&7) * 8
+	j := sn*c.sigStride + w>>3
+	c.sigw[j] = c.sigw[j]&^(0xFF<<shift) | sigOf(line)<<shift
+}
+
 // New builds a cache from cfg.
 func New(cfg Config) *Cache {
 	sets := cfg.Sets()
@@ -111,17 +166,25 @@ func New(cfg Config) *Cache {
 		panic(fmt.Sprintf("cache %s: %d ways overflow the packed recency word", cfg.Name, cfg.Ways))
 	}
 	n := sets * cfg.Ways
+	stride := (cfg.Ways + 7) / 8
+	lastMask := uint64(0x8080808080808080)
+	if r := cfg.Ways % 8; r != 0 {
+		lastMask &= uint64(1)<<(8*r) - 1
+	}
 	c := &Cache{
-		cfg:      cfg,
-		sets:     sets,
-		ways:     cfg.Ways,
-		setMask:  uint64(sets - 1),
-		lruShift: uint(cfg.Ways-1) * 4,
-		tags:     make([]uint64, n),
-		flags:    make([]uint8, n),
-		order:    make([]uint64, sets),
-		mru:      make([]uint8, sets),
-		fill:     make([]uint16, sets),
+		cfg:         cfg,
+		sets:        sets,
+		ways:        cfg.Ways,
+		setMask:     uint64(sets - 1),
+		lruShift:    uint(cfg.Ways-1) * 4,
+		tags:        make([]uint64, n),
+		flags:       make([]uint8, n),
+		order:       make([]uint64, sets),
+		mru:         make([]uint8, sets),
+		fill:        make([]uint16, sets),
+		sigw:        make([]uint64, sets*stride),
+		sigStride:   stride,
+		sigLastMask: lastMask,
 	}
 	for i := range c.order {
 		c.order[i] = identityOrder
@@ -142,19 +205,13 @@ func (c *Cache) Access(line uint64, write bool) (hit, prefetched bool, victim Vi
 	tags := c.tags[base : base+c.ways]
 	w := int(c.mru[sn])
 	if !(w < len(tags) && tags[w] == line) {
-		w = -1
-		for x := range tags {
-			if tags[x] == line {
-				w = x
-				c.mru[sn] = uint8(x)
-				break
-			}
-		}
+		w = c.findWay(sn, line, tags)
 		if w < 0 {
 			c.Misses++
 			victim = c.install(sn, base, line, write, false)
 			return false, false, victim
 		}
+		c.mru[sn] = uint8(w)
 	}
 	c.Hits++
 	// Promoting the way that is already at the front is the identity;
@@ -167,6 +224,7 @@ func (c *Cache) Access(line uint64, write bool) (hit, prefetched bool, victim Vi
 	if write {
 		fl |= flagDirty
 		c.flags[i] = fl
+		c.everDirty = true
 	}
 	if fl&flagPrefetched != 0 {
 		c.flags[i] = fl &^ flagPrefetched
@@ -174,6 +232,147 @@ func (c *Cache) Access(line uint64, write bool) (hit, prefetched bool, victim Vi
 		return true, true, Victim{}
 	}
 	return true, false, Victim{}
+}
+
+// HitAgain re-prices an access to a line the caller knows was this
+// cache's previous access in its set — still the set's MRU way, already
+// promoted to the recency front, prefetched flag clear. In that state
+// Access(line, write) changes nothing but the hit counter and, on a
+// write, the dirty bit, so HitAgain performs exactly those and skips the
+// probe. Callers must only use it on caches that never receive
+// prefetcher installs (the machine's L1D qualifies: the prefetcher feeds
+// the L2), since a prefetched-line hit would also need its flag cleared
+// and counted.
+func (c *Cache) HitAgain(line uint64, write bool) {
+	c.Hits++
+	if write {
+		sn := int(line & c.setMask)
+		c.flags[sn*c.ways+int(c.mru[sn])] |= flagDirty
+		c.everDirty = true
+	}
+}
+
+// RunMiss records one miss inside an AccessRun: the missing line and the
+// victim its install evicted.
+type RunMiss struct {
+	Line   uint64
+	Victim Victim
+}
+
+// AccessRun performs Access(first+i, write) for every i in [0, n), appending
+// one RunMiss per miss to buf and returning it. Hit/miss outcomes,
+// replacement decisions and counters are bit-identical to the per-line loop;
+// the batched form exists because runs of consecutive lines map to
+// consecutive sets, so the set index and way base advance incrementally
+// instead of being re-derived from the line number, and the call overhead is
+// paid once per run instead of once per line. Sequential instruction
+// fetches and multi-line data accesses are the simulator's two hottest
+// access shapes, and both arrive as exactly such runs.
+func (c *Cache) AccessRun(first, n uint64, write bool, buf []RunMiss) []RunMiss {
+	if !write && !c.everDirty && !c.everPf {
+		return c.accessRunClean(first, n, buf)
+	}
+	sn := int(first & c.setMask)
+	ways := c.ways
+	base := sn * ways
+	for line, end := first, first+n; line < end; line++ {
+		tags := c.tags[base : base+ways]
+		w := int(c.mru[sn])
+		hit := w < ways && tags[w] == line
+		if !hit {
+			if w = c.findWay(sn, line, tags); w >= 0 {
+				c.mru[sn] = uint8(w)
+				hit = true
+			}
+		}
+		if hit {
+			c.Hits++
+			if ord := c.order[sn]; ord&0xF != uint64(w) {
+				c.order[sn] = promote(ord, w)
+			}
+			i := base + w
+			fl := c.flags[i]
+			if write {
+				fl |= flagDirty
+				c.flags[i] = fl
+				c.everDirty = true
+			}
+			if fl&flagPrefetched != 0 {
+				c.flags[i] = fl &^ flagPrefetched
+				c.PrefetchUsefulHits++
+			}
+		} else {
+			c.Misses++
+			buf = append(buf, RunMiss{Line: line, Victim: c.install(sn, base, line, write, false)})
+		}
+		if sn++; sn == c.sets {
+			sn, base = 0, 0
+		} else {
+			base += ways
+		}
+	}
+	return buf
+}
+
+// accessRunClean is AccessRun for a cache whose flags bytes are all zero —
+// no line dirty, none prefetched — under a read run. Nothing can set a flag
+// on this path, so the loop skips the flags array entirely: hits are a
+// probe-or-scan plus a recency promote, misses a tag store plus a tail
+// rotation, and victims are never dirty. An L1 I-cache stays on this path
+// for its whole life, which makes sequential instruction fetch — the
+// simulator's single largest access stream — its cheapest shape.
+func (c *Cache) accessRunClean(first, n uint64, buf []RunMiss) []RunMiss {
+	sn := int(first & c.setMask)
+	ways := c.ways
+	base := sn * ways
+	for line, end := first, first+n; line < end; line++ {
+		tags := c.tags[base : base+ways]
+		w := int(c.mru[sn])
+		hit := w < ways && tags[w] == line
+		if !hit {
+			if w = c.findWay(sn, line, tags); w >= 0 {
+				c.mru[sn] = uint8(w)
+				hit = true
+			}
+		}
+		if hit {
+			c.Hits++
+			if ord := c.order[sn]; ord&0xF != uint64(w) {
+				c.order[sn] = promote(ord, w)
+			}
+		} else {
+			c.Misses++
+			ord := c.order[sn]
+			var oldest int
+			var victim Victim
+			if int(c.fill[sn]) == ways {
+				oldest = int(ord >> c.lruShift & 0xF)
+				victim = Victim{Line: tags[oldest], Valid: true}
+				low := uint64(1)<<c.lruShift - 1
+				ord = ord&^(low<<4|0xF) | (ord&low)<<4 | uint64(oldest)
+			} else {
+				for x := 1; x < ways; x++ {
+					if tags[x] == 0 {
+						oldest = x
+						break
+					}
+				}
+				c.fill[sn]++
+				ord = promote(ord, oldest)
+			}
+			tags[oldest] = line
+			c.setSig(sn, oldest, line)
+			c.order[sn] = ord
+			c.mru[sn] = uint8(oldest)
+			buf = append(buf, RunMiss{Line: line, Victim: victim})
+		}
+		if sn++; sn == c.sets {
+			sn, base = 0, 0
+		} else {
+			base += ways
+		}
+	}
+	return buf
 }
 
 // Install brings line into the cache without counting a demand access; the
@@ -187,10 +386,8 @@ func (c *Cache) Install(line uint64, prefetch bool) (installed bool, victim Vict
 	if w := int(c.mru[sn]); w < len(tags) && tags[w] == line {
 		return false, Victim{}
 	}
-	for w := range tags {
-		if tags[w] == line {
-			return false, Victim{}
-		}
+	if c.findWay(sn, line, tags) >= 0 {
+		return false, Victim{}
 	}
 	if prefetch {
 		c.PrefetchInstalls++
@@ -207,6 +404,12 @@ func (c *Cache) Install(line uint64, prefetch bool) (installed bool, victim Vict
 // since untouched ways carried stamp 0 and could never lose a
 // strictly-less comparison.
 func (c *Cache) install(sn, base int, line uint64, write, prefetch bool) Victim {
+	if write {
+		c.everDirty = true
+	}
+	if prefetch {
+		c.everPf = true
+	}
 	ord := c.order[sn]
 	var oldest int
 	var victim Victim
@@ -221,6 +424,11 @@ func (c *Cache) install(sn, base int, line uint64, write, prefetch bool) Victim 
 		if victim.Dirty {
 			c.Writebacks++
 		}
+		// Promoting the tail nibble is a rotation of the low ways
+		// nibbles — cheaper than the general SWAR promote, and installs
+		// into full sets are the steady state of every miss.
+		low := uint64(1)<<c.lruShift - 1
+		ord = ord&^(low<<4|0xF) | (ord&low)<<4 | uint64(oldest)
 	} else {
 		tags := c.tags[base : base+c.ways]
 		for w := 1; w < len(tags); w++ {
@@ -230,10 +438,12 @@ func (c *Cache) install(sn, base int, line uint64, write, prefetch bool) Victim 
 			}
 		}
 		c.fill[sn]++
+		ord = promote(ord, oldest)
 	}
 	i := base + oldest
 	c.tags[i] = line
-	c.order[sn] = promote(ord, oldest)
+	c.setSig(sn, oldest, line)
+	c.order[sn] = ord
 	var f uint8
 	if write {
 		f |= flagDirty
@@ -252,6 +462,7 @@ func (c *Cache) install(sn, base int, line uint64, write, prefetch bool) Victim 
 // WriteBack does not count as a demand hit or miss, and a writeback hit does
 // not refresh the line's recency.
 func (c *Cache) WriteBack(line uint64) Victim {
+	c.everDirty = true
 	sn := int(line & c.setMask)
 	base := sn * c.ways
 	tags := c.tags[base : base+c.ways]
@@ -259,12 +470,10 @@ func (c *Cache) WriteBack(line uint64) Victim {
 		c.flags[base+w] |= flagDirty
 		return Victim{}
 	}
-	for w := range tags {
-		if tags[w] == line {
-			c.mru[sn] = uint8(w)
-			c.flags[base+w] |= flagDirty
-			return Victim{}
-		}
+	if w := c.findWay(sn, line, tags); w >= 0 {
+		c.mru[sn] = uint8(w)
+		c.flags[base+w] |= flagDirty
+		return Victim{}
 	}
 	return c.install(sn, base, line, true, false)
 }
@@ -297,6 +506,8 @@ func (c *Cache) Invalidate(line uint64) (wasDirty bool) {
 			wasDirty = c.flags[i]&flagDirty != 0
 			c.tags[i] = 0
 			c.flags[i] = 0
+			shift := uint(w&7) * 8
+			c.sigw[sn*c.sigStride+w>>3] &^= 0xFF << shift
 			c.fill[sn]--
 			return wasDirty
 		}
@@ -315,6 +526,10 @@ func (c *Cache) Reset() {
 		c.mru[i] = 0
 		c.fill[i] = 0
 	}
+	for i := range c.sigw {
+		c.sigw[i] = 0
+	}
 	c.Hits, c.Misses, c.Writebacks = 0, 0, 0
 	c.PrefetchInstalls, c.PrefetchUsefulHits = 0, 0
+	c.everDirty, c.everPf = false, false
 }

@@ -13,17 +13,24 @@ import "fmt"
 // window and, once a stream is confirmed, prefetches Depth lines ahead of
 // each miss.
 //
-// Tracker replacement uses the same packed recency permutation as the
-// caches (see Cache): trackers are totally ordered by last use, so one
-// nibble-packed word replaces a per-tracker timestamp and its eviction
-// scan, and there is no clock to wrap.
+// Tracker state is struct-of-arrays: the match loop — run on every L2 demand
+// miss — scans only the contiguous nextLine array, one unsigned compare per
+// tracker, with confidence bytes held separately and touched only on a
+// match. Idle trackers carry the trackerIdle sentinel so the same compare
+// rejects them without a validity check. Replacement uses the same packed
+// recency permutation as the caches (see Cache): trackers are totally
+// ordered by last use, so one nibble-packed word replaces a per-tracker
+// timestamp and its eviction scan, and there is no clock to wrap.
 type Prefetcher struct {
 	// Depth is how many lines are fetched ahead once a stream locks on.
 	Depth int
 
-	streams []stream
-	order   uint64 // recency permutation of tracker indices, MRU nibble lowest
-	fill    int    // trackers in use; == len(streams) once warm
+	// next is each tracker's predicted next line, or trackerIdle.
+	next []uint64
+	// conf is each tracker's confidence; 0 means the tracker is idle.
+	conf  []uint8
+	order uint64 // recency permutation of tracker indices, MRU nibble lowest
+	fill  int    // trackers in use; == len(next) once warm
 
 	// out is the scratch slice OnMiss returns, reused across calls so a
 	// confirmed stream costs no allocation per miss.
@@ -33,12 +40,10 @@ type Prefetcher struct {
 	Issued uint64
 }
 
-// stream is one tracker.
-type stream struct {
-	nextLine uint64
-	conf     uint8
-	valid    bool
-}
+// trackerIdle marks an unused tracker. It sits far above any reachable line
+// number (line 2^63 would be address 2^69), so the windowed match
+// line-next < 4 can never select an idle tracker.
+const trackerIdle = uint64(1) << 63
 
 // NewPrefetcher returns a prefetcher with the given number of concurrent
 // stream trackers and prefetch depth.
@@ -46,12 +51,17 @@ func NewPrefetcher(trackers, depth int) *Prefetcher {
 	if trackers > 16 {
 		panic(fmt.Sprintf("prefetcher: %d trackers overflow the packed recency word", trackers))
 	}
-	return &Prefetcher{
-		Depth:   depth,
-		streams: make([]stream, trackers),
-		order:   identityOrder,
-		out:     make([]uint64, 0, depth),
+	p := &Prefetcher{
+		Depth: depth,
+		next:  make([]uint64, trackers),
+		conf:  make([]uint8, trackers),
+		order: identityOrder,
+		out:   make([]uint64, 0, depth),
 	}
+	for i := range p.next {
+		p.next[i] = trackerIdle
+	}
+	return p
 }
 
 // OnMiss observes a demand miss on line and returns the lines to prefetch
@@ -62,51 +72,51 @@ func (p *Prefetcher) OnMiss(line uint64) []uint64 {
 	if p == nil {
 		return nil
 	}
-	// Try to match an existing stream.
-	for i := range p.streams {
-		s := &p.streams[i]
-		if !s.valid {
-			continue
-		}
-		// Allow the demand stream to be at, or slightly past, the
-		// predicted next line (the core can outrun the tracker).
-		if line >= s.nextLine && line < s.nextLine+4 {
+	// Try to match an existing stream. The demand stream is allowed to be
+	// at, or slightly past, the predicted next line (the core can outrun
+	// the tracker): line in [next, next+4), which the unsigned subtraction
+	// tests in one compare — idle trackers' sentinel makes the difference
+	// enormous, so they can never match.
+	for i, nl := range p.next {
+		if line-nl < 4 {
 			p.order = promote(p.order, i)
-			s.nextLine = line + 1
-			if s.conf < 4 {
-				s.conf++
+			p.next[i] = line + 1
+			c := p.conf[i]
+			if c < 4 {
+				c++
+				p.conf[i] = c
 			}
-			if s.conf >= 2 {
+			if c >= 2 {
 				out := p.out[:0]
 				for d := 1; d <= p.Depth; d++ {
 					out = append(out, line+uint64(d))
 				}
 				p.out = out
 				p.Issued += uint64(len(out))
-				s.nextLine = line + 1
 				return out
 			}
 			return nil
 		}
 	}
 	// Allocate a new tracker for this potential stream. While trackers
-	// remain free the first invalid index wins, as the original scan's
-	// valid check chose; once warm the victim is the recency tail —
+	// remain free the first idle index wins, as the original scan's
+	// validity check chose; once warm the victim is the recency tail —
 	// exactly the least-recently-used tracker the timestamp scan picked,
 	// since per-tracker last-use times are distinct.
 	victim := 0
-	if p.fill == len(p.streams) {
-		victim = int(p.order >> (uint(len(p.streams)-1) * 4) & 0xF)
+	if p.fill == len(p.next) {
+		victim = int(p.order >> (uint(len(p.next)-1) * 4) & 0xF)
 	} else {
-		for i := range p.streams {
-			if !p.streams[i].valid {
+		for i, c := range p.conf {
+			if c == 0 {
 				victim = i
 				break
 			}
 		}
 		p.fill++
 	}
-	p.streams[victim] = stream{nextLine: line + 1, conf: 1, valid: true}
+	p.next[victim] = line + 1
+	p.conf[victim] = 1
 	p.order = promote(p.order, victim)
 	return nil
 }
@@ -116,8 +126,9 @@ func (p *Prefetcher) Reset() {
 	if p == nil {
 		return
 	}
-	for i := range p.streams {
-		p.streams[i] = stream{}
+	for i := range p.next {
+		p.next[i] = trackerIdle
+		p.conf[i] = 0
 	}
 	p.order = identityOrder
 	p.fill = 0

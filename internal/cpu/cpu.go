@@ -79,6 +79,11 @@ func (c *Counters) Sub(o Counters) {
 	c.BusPf -= o.BusPf
 }
 
+// IsZero reports whether every counter is zero. The pricing kernel
+// accumulates per-quantum deltas in a turn-local Counters array and uses
+// this to skip flushing classes the quantum never touched.
+func (c Counters) IsZero() bool { return c == Counters{} }
+
 // BusTxns returns the total bus transactions (Figure 8's rightmost bar).
 func (c Counters) BusTxns() uint64 { return c.BusRead + c.BusWrite + c.BusPf }
 

@@ -112,7 +112,7 @@ var registry = []Descriptor{
 	{
 		Name: "table4", Ref: "Table 4",
 		Doc:     "1- and 8-core throughput and speedups for every workload, allocator, and platform",
-		Example: "webmm -exp table4 -jobs 8 -cellcache .webmm-cache",
+		Example: "webmm -exp table4 -jobs 8 -fidelity sampled -cellcache .webmm-cache",
 		Cells:   (*Runner).Table4Cells,
 		Run:     func(r *Runner) Output { return tables(Table4Table(Table4(r))) },
 	},

@@ -42,6 +42,31 @@ type Config struct {
 	// (the paper's separate +11.7% experiment; off by default to match
 	// the paper's primary Xeon configuration).
 	XeonLargePages bool
+	// Fidelity selects how the measurement phase executes: FidelityFull
+	// (the default; the empty string means the same) prices every
+	// transaction, FidelitySampled prices a SMARTS-style sample of the
+	// measured rounds (machine.DefaultSamplePlan) — much faster on long
+	// measurement runs, with per-transaction statistics accurate to a
+	// couple of percent. The field participates in the cell-cache key,
+	// so full-fidelity cache entries are never served to sampled runs or
+	// vice versa.
+	Fidelity string
+}
+
+// The fidelity modes. FidelityFull is normalized to the empty string inside
+// the runner so "full" and "" configurations share cache keys.
+const (
+	FidelityFull    = "full"
+	FidelitySampled = "sampled"
+)
+
+// normalized canonicalizes spelling variants that must not produce distinct
+// cache keys.
+func (c Config) normalized() Config {
+	if c.Fidelity == FidelityFull {
+		c.Fidelity = ""
+	}
+	return c
 }
 
 // DefaultConfig is sized for interactive runs; the committed EXPERIMENTS.md
@@ -53,6 +78,11 @@ func DefaultConfig() Config {
 func (c Config) validate() {
 	if c.Scale < 1 || c.Scale&(c.Scale-1) != 0 {
 		panic(fmt.Sprintf("experiments: scale %d must be a power of two", c.Scale))
+	}
+	switch c.Fidelity {
+	case "", FidelityFull, FidelitySampled:
+	default:
+		panic(fmt.Sprintf("experiments: unknown fidelity %q", c.Fidelity))
 	}
 }
 
@@ -201,6 +231,7 @@ type inflightCell struct {
 // NewRunner returns a Runner for cfg.
 func NewRunner(cfg Config) *Runner {
 	cfg.validate()
+	cfg = cfg.normalized()
 	return &Runner{
 		Cfg:      cfg,
 		cells:    make(map[Cell]CellResult),
@@ -489,6 +520,7 @@ func (r *Runner) BuildManifest(experiments []string) *telemetry.Manifest {
 			Measure:        r.Cfg.Measure,
 			Seed:           r.Cfg.Seed,
 			XeonLargePages: r.Cfg.XeonLargePages,
+			Fidelity:       r.Cfg.Fidelity,
 		},
 		Experiments: experiments,
 		Cells:       make([]telemetry.ManifestCell, 0, len(cells)),
@@ -796,7 +828,11 @@ func (r *Runner) simulate(ctx context.Context, c Cell, attempt int, span *teleme
 		callsBefore[i] = g.Stats()
 	}
 	meas := span.Child("measure", "phase")
-	err = m.RunContext(ctx, drivers, 0, measure)
+	if r.Cfg.Fidelity == FidelitySampled {
+		err = m.RunSampled(ctx, drivers, measure, machine.DefaultSamplePlan())
+	} else {
+		err = m.RunContext(ctx, drivers, 0, measure)
+	}
 	meas.End()
 	if err != nil {
 		return CellResult{}, err

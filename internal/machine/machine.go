@@ -66,6 +66,23 @@ func (s *Stream) pageShiftOf(a mem.Addr) uint8 {
 type coreState struct {
 	l1d, l1i *cache.Cache
 	tlb      *cache.TLB
+
+	// lastData is the line of the core's previous data event when that
+	// event was single-line, 0 otherwise (line 0 is never used). A repeat
+	// of the same line is necessarily an L1D hit on the set's MRU way and
+	// a TLB hit on the TLB's MRU entry — neither lookup changes any
+	// replacement state — so priceData prices it as bare counter bumps.
+	// Nothing but priceData touches the L1D or D-TLB (the prefetcher
+	// feeds the L2, and instruction fetch has its own cache), so the memo
+	// cannot go stale between data events.
+	lastData uint64
+
+	// tlbKey is the key of the core's previous TLB access. The TLB's MRU
+	// entry always holds the last-accessed key, and a repeat MRU hit
+	// changes nothing but the hit counter, so a key match skips the
+	// lookup call outright. 0 is never a key (the page shift occupies the
+	// low bits and is never 0).
+	tlbKey uint64
 }
 
 // l2State is one L2 cache cluster with its prefetcher.
@@ -106,29 +123,44 @@ type Machine struct {
 	cores   []*coreState
 	l2s     []*l2State
 
-	// Sampler bookkeeping: the round counter and the class totals at the
-	// previous sample, for delta computation.
+	// Sampler bookkeeping: the round counter, running per-class totals
+	// maintained incrementally as pricing flushes counter deltas, and the
+	// totals at the previous sample. Keeping classTotals up to date as a
+	// side effect of the per-turn flush makes sample() O(classes) instead
+	// of O(streams × classes), so sampling cost stays flat as -scale grows.
+	// The totals are only maintained while a Sampler is attached; attach
+	// one before the first pricing round.
 	sampleRound int
+	classTotals [sim.NumClasses]cpu.Counters
 	lastClass   [sim.NumClasses]cpu.Counters
 
-	// quantum is how many events each stream contributes per round-robin
-	// turn while pricing, approximating concurrent execution in the
-	// shared caches.
+	// quantum is the pricing budget each stream contributes per
+	// round-robin turn, approximating concurrent execution in the shared
+	// caches. It is counted in line-equivalents: one unit per data event
+	// and one per instruction-fetch line, so a fetch run emitted as a
+	// single event splits across turns exactly where the per-line event
+	// stream used to.
 	quantum int
 
 	measuring bool
 
-	// cursors and done are scratch reused across priceRound and Run
-	// calls, keeping the per-round pricing path allocation-free (a full
-	// experiment prices tens of thousands of rounds).
-	cursors []evCursor
-	done    []bool
+	// cursors, done and runScratch are scratch reused across priceRound
+	// and Run calls, keeping the per-round pricing path allocation-free
+	// (a full experiment prices tens of thousands of rounds).
+	cursors    []evCursor
+	done       []bool
+	runScratch []cache.RunMiss
 }
 
-// evCursor walks one stream's buffered events during priceRound.
+// evCursor walks one stream's buffered event columns during priceRound.
+// lineOff is the number of lines of the fetch-run event at pos that earlier
+// turns already priced, so a long run resumes mid-run at its quantum split.
 type evCursor struct {
-	ev  []sim.Event
-	pos int
+	addrs   []mem.Addr
+	sizes   []uint32
+	meta    []uint8
+	pos     int
+	lineOff uint64
 }
 
 // streamSpan is the address-space span reserved per stream (per process).
@@ -175,6 +207,7 @@ func New(p Platform, nCores int, allocCode, appCode uint64, seed uint64) *Machin
 	}
 	m.cursors = make([]evCursor, len(m.streams))
 	m.done = make([]bool, len(m.streams))
+	m.runScratch = make([]cache.RunMiss, 0, 64)
 	return m
 }
 
@@ -261,17 +294,14 @@ func (m *Machine) RunContext(ctx context.Context, drivers []Driver, warmup, meas
 // sample delivers one RoundSample — the per-class counter delta since the
 // previous sample — to the attached Sampler. With no Sampler attached, the
 // whole computation is skipped; pricing itself is untouched either way, so
-// sampling can never perturb simulation results.
+// sampling can never perturb simulation results. The per-class totals are
+// maintained incrementally by the pricing flush, so this is a constant-size
+// computation regardless of stream count.
 func (m *Machine) sample(measuring bool) {
 	if m.Sampler == nil {
 		return
 	}
-	var totals [sim.NumClasses]cpu.Counters
-	for _, s := range m.streams {
-		for cls := 0; cls < sim.NumClasses; cls++ {
-			totals[cls].Add(s.counters[cls])
-		}
-	}
+	totals := m.classTotals
 	out := RoundSample{Round: m.sampleRound, Measuring: measuring, ByClass: totals}
 	for cls := 0; cls < sim.NumClasses; cls++ {
 		out.ByClass[cls].Sub(m.lastClass[cls])
@@ -288,103 +318,183 @@ func (m *Machine) priceRound() {
 	cursors := m.cursors
 	remaining := 0
 	for i, s := range m.streams {
-		cursors[i] = evCursor{ev: s.Env.Events()}
-		if len(cursors[i].ev) > 0 {
+		b := s.Env.Buf()
+		cursors[i] = evCursor{addrs: b.Addrs(), sizes: b.Sizes(), meta: b.Meta()}
+		if b.Len() > 0 {
 			remaining++
 		}
 	}
 	for remaining > 0 {
 		for i := range cursors {
 			c := &cursors[i]
-			if c.pos >= len(c.ev) {
+			if c.pos >= len(c.meta) {
 				continue
 			}
-			end := c.pos + m.quantum
-			if end >= len(c.ev) {
-				end = len(c.ev)
+			m.priceTurn(m.streams[i], c)
+			if c.pos >= len(c.meta) {
 				remaining--
 			}
-			s := m.streams[i]
-			for _, ev := range c.ev[c.pos:end] {
-				m.price(s, ev)
-			}
-			c.pos = end
 		}
 	}
+	sampling := m.Sampler != nil
 	for _, s := range m.streams {
 		instr := s.Env.Drain()
 		if m.measuring {
 			for cls := 0; cls < sim.NumClasses; cls++ {
 				s.counters[cls].Instr += instr[cls]
+				if sampling {
+					m.classTotals[cls].Instr += instr[cls]
+				}
 			}
 		}
 	}
 }
 
-// price routes one event through the stream's cache hierarchy. This is the
-// hottest function in the simulator: an event can touch many lines (large
-// copies, long fetch runs), so everything that is constant across the run of
-// lines — the stream's core and L2 cluster, the counter pointer, and the
-// measured-counter branches themselves — is resolved or accumulated outside
-// the per-line loop. Misses are tallied into a register and flushed to the
-// counters once per event.
-func (m *Machine) price(s *Stream, ev sim.Event) {
-	core := s.core
-	l2 := s.l2
-	ctr := &s.counters[ev.Class]
+// priceTurn prices one stream's quantum: up to quantum line-equivalents of
+// the cursor's remaining events. Counter deltas accumulate in a turn-local
+// array that lives in registers and cache, and are flushed to the stream's
+// (and, when sampling, the machine's) counters once per turn instead of
+// once per line.
+func (m *Machine) priceTurn(s *Stream, c *evCursor) {
 	meas := m.measuring
-
-	first := mem.LineOf(ev.Addr)
-	nLines := mem.LinesTouched(ev.Addr, uint64(ev.Size))
-
-	if ev.Kind == sim.IFetch {
-		l1i := core.l1i
-		var miss uint64
-		for l := uint64(0); l < nLines; l++ {
-			line := first + l
-			hit, _, _ := l1i.Access(line, false)
-			if hit {
-				continue // instruction lines are never dirty
+	budget := m.quantum
+	n := len(c.meta)
+	var d [sim.NumClasses]cpu.Counters
+	var touched uint8
+	for budget > 0 && c.pos < n {
+		i := c.pos
+		mt := c.meta[i]
+		cls := sim.MetaClass(mt)
+		touched |= 1 << cls
+		ctr := &d[cls]
+		if k := sim.MetaKind(mt); k == sim.IFetch {
+			first := mem.LineOf(c.addrs[i]) + c.lineOff
+			take := uint64(c.sizes[i])/mem.LineSize - c.lineOff
+			if take > uint64(budget) {
+				// Quantum boundary mid-run: price the budgeted prefix now
+				// and resume at the split next turn, exactly where the
+				// per-line event stream used to hand over.
+				take = uint64(budget)
+				c.lineOff += take
+			} else {
+				c.pos++
+				c.lineOff = 0
 			}
-			miss++
-			m.l2Access(l2, ctr, line, false, true, meas)
+			budget -= int(take)
+			m.priceIFetchRun(s, ctr, first, take, meas)
+		} else {
+			m.priceData(s, ctr, c.addrs[i], c.sizes[i], k == sim.Write, meas)
+			budget--
+			c.pos++
 		}
+	}
+	if !meas {
+		return
+	}
+	sampling := m.Sampler != nil
+	for cls := 0; cls < sim.NumClasses; cls++ {
+		if touched&(1<<cls) == 0 || d[cls].IsZero() {
+			continue
+		}
+		s.counters[cls].Add(d[cls])
+		if sampling {
+			m.classTotals[cls].Add(d[cls])
+		}
+	}
+}
+
+// priceIFetchRun prices a run of nLines sequential instruction fetches
+// through the stream's L1 I-cache and, per miss, the shared L2.
+func (m *Machine) priceIFetchRun(s *Stream, ctr *cpu.Counters, first, nLines uint64, meas bool) {
+	misses := s.core.l1i.AccessRun(first, nLines, false, m.runScratch[:0])
+	m.runScratch = misses
+	l2 := s.l2
+	for j := range misses {
+		// Instruction lines are never dirty, so L1I victims need no
+		// writeback.
+		m.l2Access(l2, ctr, misses[j].Line, false, true, meas)
+	}
+	if meas {
+		ctr.L1IAcc += nLines
+		ctr.L1IMiss += uint64(len(misses))
+	}
+}
+
+// priceData prices one data event: a TLB lookup (one per event —
+// page-crossing objects are rare and a second lookup would not change the
+// shape of anything), an L1D run over the touched lines, and per L1 miss
+// the dirty-victim writeback and shared-L2 access. The batched L1 sweep is
+// bit-identical to the interleaved per-line loop it replaced: L1 outcomes
+// never depend on L2 state, and the L2 operations replay in the original
+// per-miss order.
+func (m *Machine) priceData(s *Stream, ctr *cpu.Counters, addr mem.Addr, size uint32, write, meas bool) {
+	first := mem.LineOf(addr)
+	nLines := mem.LinesTouched(addr, uint64(size))
+	core := s.core
+	if nLines == 1 && first == core.lastData {
+		// Repeat of the core's previous data line (about a quarter of the
+		// data stream: write-then-reread of the newest object): both
+		// lookups are hits that change no state beyond their counters.
+		core.tlb.Hits++
+		core.l1d.HitAgain(first, write)
 		if meas {
-			ctr.L1IAcc += nLines
-			ctr.L1IMiss += miss
+			ctr.L1DAcc++
 		}
 		return
 	}
-
-	// Data access: one TLB lookup per event (page-crossing objects are
-	// rare and a second lookup would not change the shape of anything).
-	pageShift := s.pageShiftOf(ev.Addr)
-	if !core.tlb.Access(cache.Key(uint64(ev.Addr), pageShift)) && meas {
-		ctr.TLBMiss++
+	if nLines == 1 {
+		core.lastData = first
+	} else {
+		core.lastData = 0
 	}
 
-	write := ev.Kind == sim.Write
-	l1d := core.l1d
-	var miss uint64
-	for l := uint64(0); l < nLines; l++ {
-		line := first + l
-		hit, _, victim := l1d.Access(line, write)
-		if hit {
-			continue
+	if key := cache.Key(uint64(addr), s.pageShiftOf(addr)); key == core.tlbKey {
+		core.tlb.Hits++
+	} else {
+		core.tlbKey = key
+		if !core.tlb.Access(key) && meas {
+			ctr.TLBMiss++
 		}
-		miss++
-		if victim.Valid && victim.Dirty {
+	}
+
+	l2 := s.l2
+	if nLines == 1 {
+		// Single-line accesses are the bulk of the data stream; skip the
+		// run machinery and price the one line directly.
+		hit, _, victim := s.core.l1d.Access(first, write)
+		if !hit {
+			if victim.Valid && victim.Dirty {
+				wbVictim := l2.c.WriteBack(victim.Line)
+				if wbVictim.Valid && wbVictim.Dirty && meas {
+					ctr.BusWrite++
+				}
+			}
+			m.l2Access(l2, ctr, first, write, false, meas)
+		}
+		if meas {
+			ctr.L1DAcc++
+			if !hit {
+				ctr.L1DMiss++
+			}
+		}
+		return
+	}
+	misses := s.core.l1d.AccessRun(first, nLines, write, m.runScratch[:0])
+	m.runScratch = misses
+	for j := range misses {
+		rm := &misses[j]
+		if v := rm.Victim; v.Valid && v.Dirty {
 			// Dirty L1 eviction drains into the L2.
-			wbVictim := l2.c.WriteBack(victim.Line)
+			wbVictim := l2.c.WriteBack(v.Line)
 			if wbVictim.Valid && wbVictim.Dirty && meas {
 				ctr.BusWrite++
 			}
 		}
-		m.l2Access(l2, ctr, line, write, false, meas)
+		m.l2Access(l2, ctr, rm.Line, write, false, meas)
 	}
 	if meas {
 		ctr.L1DAcc += nLines
-		ctr.L1DMiss += miss
+		ctr.L1DMiss += uint64(len(misses))
 	}
 }
 

@@ -46,6 +46,21 @@ type Result struct {
 	ClassTotals [sim.NumClasses]cpu.Counters
 }
 
+// IPC returns retired instructions per attributed cycle over everything
+// measured — the headline fidelity metric the sampled mode's error bound is
+// stated against: both numerator and denominator come from the same measured
+// rounds, so it is comparable between full and sampled runs.
+func (r Result) IPC() float64 {
+	var cycles float64
+	for _, ct := range r.ByClass {
+		cycles += ct.Cycles
+	}
+	if cycles == 0 {
+		return 0
+	}
+	return float64(r.Totals.Instr) / cycles
+}
+
 // CyclesPerTxn returns total attributed cycles per measured transaction.
 func (r Result) CyclesPerTxn() float64 {
 	var total float64

@@ -130,6 +130,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Sim.Seed == 0 {
 		cfg.Sim.Seed = def.Seed
 	}
+	fid, err := canonFidelity(cfg.Sim.Fidelity)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	cfg.Sim.Fidelity = fid
 	s := &Server{
 		cfg:     cfg,
 		tel:     cfg.Tel,
@@ -153,6 +158,21 @@ func New(cfg Config) (*Server, error) {
 		go s.worker()
 	}
 	return s, nil
+}
+
+// canonFidelity validates a measurement-fidelity name before it can
+// reach experiments.NewRunner (which panics on unknown names), and maps
+// the explicit "full" spelling to the zero value so equivalent
+// configurations share one runner in the runnerKey map.
+func canonFidelity(name string) (string, error) {
+	switch name {
+	case "", experiments.FidelityFull:
+		return "", nil
+	case experiments.FidelitySampled:
+		return name, nil
+	}
+	return "", fmt.Errorf("unknown fidelity %q (want %q or %q)",
+		name, experiments.FidelityFull, experiments.FidelitySampled)
 }
 
 // Close drains the worker pool: no new jobs are admitted, queued and
@@ -290,6 +310,9 @@ type runRequest struct {
 	Measure        int    `json:"measure,omitempty"`
 	Seed           uint64 `json:"seed,omitempty"`
 	XeonLargePages bool   `json:"xeon_large_pages,omitempty"`
+	// Fidelity overrides the server's default measurement fidelity
+	// ("full" or "sampled"; empty keeps the default).
+	Fidelity string `json:"fidelity,omitempty"`
 	// Faults is a fault-injection plan spec (see experiments.ParseFaults);
 	// an active plan bypasses the shared cell cache, exactly as the CLI
 	// does.
@@ -394,6 +417,14 @@ func (s *Server) buildJob(ctx context.Context, req runRequest) (*job, error) {
 	if req.XeonLargePages {
 		cfg.XeonLargePages = true
 	}
+	if req.Fidelity != "" {
+		cfg.Fidelity = req.Fidelity
+	}
+	fid, err := canonFidelity(cfg.Fidelity)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Fidelity = fid
 	timeout := s.cfg.CellTimeout
 	if req.TimeoutMS > 0 {
 		if d := time.Duration(req.TimeoutMS) * time.Millisecond; timeout == 0 || d < timeout {

@@ -63,9 +63,9 @@ type Env struct {
 	// a typed nil would defeat RecordAlloc's check.
 	AllocRec AllocRecorder
 
-	code   *CodeLayout
-	events []Event
-	instr  [NumClasses]uint64
+	code  *CodeLayout
+	buf   EventBuf
+	instr [NumClasses]uint64
 }
 
 // RecordAlloc reports one allocation request of the given size to the
@@ -79,28 +79,17 @@ func (e *Env) RecordAlloc(size uint64) {
 // NewEnv returns an Env drawing addresses from as and randomness from a
 // generator seeded with seed.
 func NewEnv(as *mem.AddressSpace, code *CodeLayout, seed uint64) *Env {
-	return &Env{AS: as, Rand: NewRNG(seed), code: code,
-		events: make([]Event, 0, 4096)}
+	return &Env{AS: as, Rand: NewRNG(seed), code: code, buf: newEventBuf(4096)}
 }
 
 // Read records a data load of size bytes at a.
 func (e *Env) Read(a mem.Addr, size uint64, c Class) {
-	e.emit(Event{Addr: a, Size: uint32(size), Kind: Read, Class: c})
+	e.buf.push(a, uint32(size), PackMeta(Read, c))
 }
 
 // Write records a data store of size bytes at a.
 func (e *Env) Write(a mem.Addr, size uint64, c Class) {
-	e.emit(Event{Addr: a, Size: uint32(size), Kind: Write, Class: c})
-}
-
-// emit appends one event. Drain retains the buffer's backing array, so once
-// the buffer has grown to a round's high-water mark this append writes in
-// place: steady-state emission is allocation-free (locked in by
-// TestEnvSteadyStateEmissionDoesNotAllocate), and the whole path inlines
-// into Read/Write. Bulk emitters (Instr's fetch runs) go through grow
-// instead, which doubles, so ramp-up reallocation is logarithmic too.
-func (e *Env) emit(ev Event) {
-	e.events = append(e.events, ev)
+	e.buf.push(a, uint32(size), PackMeta(Write, c))
 }
 
 // Copy records a memcpy of n bytes from src to dst (realloc's copy,
@@ -144,50 +133,51 @@ func (e *Env) Instr(n uint64, c Class) {
 		nlines = maxFetchLines
 	}
 	base := e.code.base[c]
-	// Extend the buffer once and fill in place: one capacity check per
-	// fetch run instead of one per line, in the simulator's most frequent
-	// event-emission path.
-	evs := e.grow(int(nlines))
-	for i := range evs {
-		line := (start + uint64(i)) % lines
-		evs[i] = Event{
-			Addr:  base + mem.Addr(line*mem.LineSize),
-			Size:  mem.LineSize,
-			Kind:  IFetch,
-			Class: c,
+	m := PackMeta(IFetch, c)
+	// Emit the whole sequential run as one event per contiguous segment
+	// (two once it wraps the footprint, more only for footprints smaller
+	// than the run). The line sequence is identical to per-line emission —
+	// the machine walks Size/LineSize consecutive lines from Addr — but
+	// the simulator's most frequent emission path now costs one push per
+	// run instead of one per line.
+	pos := start
+	for rem := nlines; rem > 0; {
+		seg := lines - pos
+		if seg > rem {
+			seg = rem
 		}
+		e.buf.push(base+mem.Addr(pos*mem.LineSize), uint32(seg*mem.LineSize), m)
+		rem -= seg
+		pos = 0
 	}
-}
-
-// grow extends the event buffer by n entries and returns the new tail for
-// the caller to fill. The buffer's capacity survives Drain, so after the
-// first few rounds of a run this never allocates.
-func (e *Env) grow(n int) []Event {
-	l := len(e.events)
-	if l+n > cap(e.events) {
-		grown := make([]Event, l, 2*cap(e.events)+n)
-		copy(grown, e.events)
-		e.events = grown
-	}
-	e.events = e.events[:l+n]
-	return e.events[l:]
 }
 
 // Instructions returns the per-class retired-instruction counters since the
 // last Drain.
 func (e *Env) Instructions() [NumClasses]uint64 { return e.instr }
 
-// Events returns the buffered events since the last Drain. The slice is
+// Buf returns the Env's event buffer for column-wise walking. The buffer is
 // owned by the Env and invalidated by the next Drain.
-func (e *Env) Events() []Event { return e.events }
+func (e *Env) Buf() *EventBuf { return &e.buf }
+
+// Events decodes the buffered events since the last Drain into record form.
+// It allocates; it exists for tests and inspection — the pricing path walks
+// Buf's columns directly.
+func (e *Env) Events() []Event {
+	out := make([]Event, e.buf.Len())
+	for i := range out {
+		out[i] = e.buf.At(i)
+	}
+	return out
+}
 
 // Drain resets the event buffer and instruction counters, returning the
-// counters that were accumulated. The buffer's backing array is retained, so
-// an Env reaches a steady state where event emission never allocates.
+// counters that were accumulated. The buffer's backing arrays are retained,
+// so an Env reaches a steady state where event emission never allocates.
 func (e *Env) Drain() (instr [NumClasses]uint64) {
 	instr = e.instr
 	e.instr = [NumClasses]uint64{}
-	e.events = e.events[:0]
+	e.buf.Reset()
 	return instr
 }
 

@@ -71,15 +71,15 @@ func TestEnvDrainRetainsCapacity(t *testing.T) {
 	for i := 0; i < 10000; i++ {
 		env.Read(m.Base, 8, ClassApp)
 	}
-	grown := cap(env.Events())
+	grown := env.Buf().Cap()
 	if grown < 10000 {
 		t.Fatalf("buffer cap %d after 10000 events", grown)
 	}
 	env.Drain()
-	if got := cap(env.events); got != grown {
+	if got := env.Buf().Cap(); got != grown {
 		t.Fatalf("Drain shrank the buffer: cap %d, want %d", got, grown)
 	}
-	if len(env.Events()) != 0 {
-		t.Fatalf("Drain left %d events", len(env.Events()))
+	if env.Buf().Len() != 0 {
+		t.Fatalf("Drain left %d events", env.Buf().Len())
 	}
 }

@@ -50,10 +50,14 @@ type ManifestConfig struct {
 	Measure        int    `json:"measure"`
 	Seed           uint64 `json:"seed"`
 	XeonLargePages bool   `json:"xeon_large_pages,omitempty"`
-	Jobs           int    `json:"jobs,omitempty"`
-	Faults         string `json:"faults,omitempty"`
-	Timeout        string `json:"timeout,omitempty"`
-	CellCacheDir   string `json:"cell_cache_dir,omitempty"`
+	// Fidelity is empty for full fidelity, "sampled" for SMARTS-style
+	// sampled measurement; omitempty keeps full-fidelity manifests
+	// byte-identical to builds that predate the mode.
+	Fidelity     string `json:"fidelity,omitempty"`
+	Jobs         int    `json:"jobs,omitempty"`
+	Faults       string `json:"faults,omitempty"`
+	Timeout      string `json:"timeout,omitempty"`
+	CellCacheDir string `json:"cell_cache_dir,omitempty"`
 }
 
 // ManifestCell is one simulated cell's record.

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# bench.sh — measure BenchmarkFig1Cell (the single-cell hot-path benchmark)
+# and regenerate BENCH_fig1.json at the repository root.
+#
+# Usage: scripts/bench.sh [reps]
+#
+# The benchmark is run `reps` times (default 5) with -benchmem under
+# GOMAXPROCS=1 (the repo's convention for committed numbers), and the
+# minimum ns/op run is recorded: the minimum is the least-noise estimator
+# on shared machines — every source of interference only ever slows a run
+# down. B/op and allocs/op are effectively deterministic and are taken
+# from the same run.
+#
+# The "pre" block pins the seed commit's numbers (measured the same way on
+# the same container class) so the JSON file documents the delta, and CI's
+# bench-smoke job gates allocs/op against the committed "post" value.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+reps="${1:-5}"
+
+# Seed-commit baseline (commit 8892cab, measured with this script's method
+# in the same session window as the committed post numbers).
+pre_ns=262579806
+pre_bytes=38477376
+pre_allocs=24507
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+for _ in $(seq 1 "$reps"); do
+  GOMAXPROCS=1 go test -run '^$' -bench 'BenchmarkFig1Cell$' -benchtime 4x -benchmem . |
+    awk '$1 == "BenchmarkFig1Cell" { print }' >>"$tmp"
+done
+
+read -r ns bytes allocs <<EOF
+$(awk '
+  {
+    for (i = 1; i <= NF; i++) {
+      if ($i == "ns/op") ns = $(i-1)
+      if ($i == "B/op") bytes = $(i-1)
+      if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (best == "" || ns + 0 < best + 0) { best = ns; bbytes = bytes; ballocs = allocs }
+  }
+  END { print best, bbytes, ballocs }
+' "$tmp")
+EOF
+
+imp=$(awk -v a="$pre_ns" -v b="$ns" 'BEGIN { printf "%.1f", 100 * (1 - b / a) }')
+
+cat >BENCH_fig1.json <<EOF
+{
+  "benchmark": "BenchmarkFig1Cell",
+  "cell": "xeon/default/MediaWiki(rw)/8 cores, scale 64, warmup 1, measure 2",
+  "method": "min of $reps interleavable runs, go test -benchtime 4x -benchmem, GOMAXPROCS=1",
+  "pre": {
+    "commit": "seed (8892cab)",
+    "ns_per_op": $pre_ns,
+    "bytes_per_op": $pre_bytes,
+    "allocs_per_op": $pre_allocs
+  },
+  "post": {
+    "ns_per_op": $ns,
+    "bytes_per_op": $bytes,
+    "allocs_per_op": $allocs
+  },
+  "improvement_pct": $imp
+}
+EOF
+
+echo "BENCH_fig1.json: ${ns} ns/op, ${bytes} B/op, ${allocs} allocs/op (${imp}% vs seed)"

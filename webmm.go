@@ -365,6 +365,27 @@ func WithContext(ctx context.Context) StudyOption {
 	return func(c *studyConfig) error { c.ctx = ctx; return nil }
 }
 
+// WithFidelity selects the measurement fidelity: "full" (or "") prices
+// every measured transaction — the default, bit-reproducible mode every
+// golden number is produced with — while "sampled" prices a SMARTS-style
+// sample of the measured rounds (detailed windows separated by skipped
+// rounds, with cache-warming rounds before each window). Sampled runs are
+// much faster on long measurement phases and keep per-transaction statistics
+// accurate to within a couple of percent; they are cache-keyed separately
+// from full runs, so the two modes never serve each other stale results.
+func WithFidelity(name string) StudyOption {
+	return func(c *studyConfig) error {
+		switch name {
+		case "", experiments.FidelityFull, experiments.FidelitySampled:
+			c.cfg.Fidelity = name
+			return nil
+		default:
+			return fmt.Errorf("webmm: unknown fidelity %q (want %q or %q)",
+				name, experiments.FidelityFull, experiments.FidelitySampled)
+		}
+	}
+}
+
 // WithXeonLargePages enables DDmalloc's large-page optimization on Xeon
 // (the paper's separate +11.7% variant).
 func WithXeonLargePages(on bool) StudyOption {
