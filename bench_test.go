@@ -125,6 +125,22 @@ func BenchmarkFig1Cell(b *testing.B) {
 	}
 }
 
+// BenchmarkCellL2Heavy simulates one 8-core Niagara cell. Niagara's L1s are
+// a quarter the size of Xeon's (8 KiB D / 16 KiB I, 4-way) with no
+// prefetcher, so a far larger share of accesses falls through to the shared
+// 12-way L2: this is the benchmark that moves when L2 lookup or install
+// costs change, where BenchmarkFig1Cell is dominated by L1 hits.
+func BenchmarkCellL2Heavy(b *testing.B) {
+	wl := workload.MediaWikiRW().Name
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		cr := r.Run(experiments.Cell{
+			Platform: "niagara", Alloc: "default", Workload: wl, Cores: 8,
+		})
+		b.ReportMetric(cr.Res.Throughput, "tps")
+	}
+}
+
 // BenchmarkFig1CellFullLong / BenchmarkFig1CellSampled run the Figure 1
 // cell with a long measurement phase (-measure 64 at -scale 32) under both
 // fidelity modes. The pair demonstrates the sampled mode's speedup on the

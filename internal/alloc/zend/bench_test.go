@@ -1,0 +1,40 @@
+package zend
+
+import (
+	"testing"
+
+	"webmm/internal/alloctest"
+	"webmm/internal/heap"
+	"webmm/internal/sim"
+)
+
+// BenchmarkZendMallocFree churns a mixed-size working set through the
+// allocator: each iteration is one malloc plus one free of a random earlier
+// object, the steady-state pattern of a request's slice loop. It exercises
+// the small-size bins, the boundary-tag coalescer and — on every call — the
+// pointer-map fast paths that register and unregister live objects.
+func BenchmarkZendMallocFree(b *testing.B) {
+	env := alloctest.NewEnv(7)
+	a := New(env)
+	rng := sim.NewRNG(13)
+	live := make([]heap.Ptr, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		size := rng.Uint64n(1500) + 1
+		p := a.Malloc(size)
+		if p == 0 {
+			b.Fatal("Malloc returned null")
+		}
+		live = append(live, p)
+		if len(live) >= 4096 {
+			j := int(rng.Uint64n(uint64(len(live))))
+			a.Free(live[j])
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if env.Buf().Len() > 1<<16 {
+			env.Drain()
+		}
+	}
+}

@@ -10,19 +10,21 @@ import "webmm/internal/mem"
 // through runtime map buckets. Key 0 marks an empty slot; payload addresses
 // are always non-zero (every simulated address space starts far above zero).
 type ptrmap struct {
-	keys []mem.Addr
-	vals []*block
-	n    int
-	mask uint64
+	keys   []mem.Addr
+	vals   []*block
+	n      int
+	mask   uint64
+	growAt int // n threshold (3/4 load) above which put grows first
 }
 
 const ptrmapMinSize = 256 // power of two
 
 func newPtrmap() *ptrmap {
 	return &ptrmap{
-		keys: make([]mem.Addr, ptrmapMinSize),
-		vals: make([]*block, ptrmapMinSize),
-		mask: ptrmapMinSize - 1,
+		keys:   make([]mem.Addr, ptrmapMinSize),
+		vals:   make([]*block, ptrmapMinSize),
+		mask:   ptrmapMinSize - 1,
+		growAt: ptrmapMinSize - ptrmapMinSize/4,
 	}
 }
 
@@ -45,9 +47,23 @@ func (m *ptrmap) get(k mem.Addr) (*block, bool) {
 	}
 }
 
-// put stores v under k, replacing any existing value.
+// put stores v under k, replacing any existing value. The home-slot check
+// mirrors take's shape: an empty home slot proves k is absent (its probe
+// chain ends immediately), so the dominant case — inserting a fresh block
+// into an uncrowded table — is one load, two stores and a counter bump,
+// with no probe loop and no grow arithmetic.
 func (m *ptrmap) put(k mem.Addr, v *block) {
-	if m.n >= len(m.keys)-len(m.keys)/4 {
+	if i := m.idx(k); m.keys[i] == 0 && m.n < m.growAt {
+		m.keys[i] = k
+		m.vals[i] = v
+		m.n++
+		return
+	}
+	m.putSlow(k, v)
+}
+
+func (m *ptrmap) putSlow(k mem.Addr, v *block) {
+	if m.n >= m.growAt {
 		m.grow()
 	}
 	for i := m.idx(k); ; i = (i + 1) & m.mask {
@@ -141,6 +157,7 @@ func (m *ptrmap) grow() {
 	m.keys = make([]mem.Addr, size)
 	m.vals = make([]*block, size)
 	m.mask = uint64(size - 1)
+	m.growAt = size - size/4
 	m.n = 0
 	for i, k := range oldKeys {
 		if k != 0 {

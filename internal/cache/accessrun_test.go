@@ -13,6 +13,13 @@ import (
 // same random traces and require exact agreement, across both the general
 // run loop and the clean fast path (accessRunClean), and across geometries
 // with full and partial signature words (8, 16 and 12/4 ways).
+//
+// The two sides also deliberately differ in memo configuration: the batched
+// cache runs with its line→way memo enabled, the reference without. The
+// memo promises to change only how a resident way is found, never the
+// outcome, so every observable — results, counters, tags, flags,
+// replacement state — must still match exactly, including across installs,
+// writebacks and invalidations that silently strand stale memo entries.
 
 // accessSeq is the per-line reference for AccessRun: Access on every line,
 // collecting misses in RunMiss form.
@@ -41,24 +48,47 @@ func diffState(a, b *Cache) string {
 		if a.tags[i] != b.tags[i] {
 			return fmt.Sprintf("tags[%d]: %#x vs %#x", i, a.tags[i], b.tags[i])
 		}
-		if a.flags[i] != b.flags[i] {
-			return fmt.Sprintf("flags[%d]: %#x vs %#x", i, a.flags[i], b.flags[i])
+	}
+	for sn := range a.meta {
+		am, bm := &a.meta[sn], &b.meta[sn]
+		if am.order != bm.order {
+			return fmt.Sprintf("order[%d]: %#x vs %#x", sn, am.order, bm.order)
+		}
+		if am.fill != bm.fill {
+			return fmt.Sprintf("fill[%d]: %d vs %d", sn, am.fill, bm.fill)
+		}
+		if am.mru != bm.mru {
+			return fmt.Sprintf("mru[%d]: %d vs %d", sn, am.mru, bm.mru)
+		}
+		if am.sig0 != bm.sig0 || am.sig1 != bm.sig1 {
+			return fmt.Sprintf("sig[%d]: %#x,%#x vs %#x,%#x", sn, am.sig0, am.sig1, bm.sig0, bm.sig1)
 		}
 	}
-	for sn := range a.order {
-		if a.order[sn] != b.order[sn] {
-			return fmt.Sprintf("order[%d]: %#x vs %#x", sn, a.order[sn], b.order[sn])
+	return ""
+}
+
+// checkMemo verifies the memo's one invariant: an entry may be arbitrarily
+// stale, but whenever it *validates* (the recorded way's tag holds the
+// recorded line) it must name exactly the way the signature scan would
+// find. Self-validation makes a violation impossible short of an
+// out-of-range way, which is exactly what this guards.
+func checkMemo(c *Cache) string {
+	for i, e := range c.memo {
+		if e == 0 {
+			continue
 		}
-		if a.fill[sn] != b.fill[sn] {
-			return fmt.Sprintf("fill[%d]: %d vs %d", sn, a.fill[sn], b.fill[sn])
+		line := e & memoLineMask
+		w := int(e >> memoWayShift)
+		if w >= c.ways {
+			return fmt.Sprintf("memo[%d]: way %d out of range", i, w)
 		}
-		if a.mru[sn] != b.mru[sn] {
-			return fmt.Sprintf("mru[%d]: %d vs %d", sn, a.mru[sn], b.mru[sn])
-		}
-	}
-	for i := range a.sigw {
-		if a.sigw[i] != b.sigw[i] {
-			return fmt.Sprintf("sigw[%d]: %#x vs %#x", i, a.sigw[i], b.sigw[i])
+		sn := int(line & c.setMask)
+		base := sn * c.ways
+		tags := c.tags[base : base+c.ways]
+		if tags[w]&tagLineMask == line {
+			if fw := c.findWay(&c.meta[sn], line, tags); fw != w {
+				return fmt.Sprintf("memo[%d]: validates way %d for line %#x but findWay says %d", i, w, line, fw)
+			}
 		}
 	}
 	return ""
@@ -78,10 +108,10 @@ func sameMisses(got, want []RunMiss) string {
 
 func TestAccessRunDifferential(t *testing.T) {
 	geoms := []Config{
-		{Name: "tiny4w", Size: 4096, Ways: 4},      // 16 sets, heavy conflicts
-		{Name: "l1d8w", Size: 32 << 10, Ways: 8},   // Xeon L1, one full sig word
-		{Name: "l2n12w", Size: 24 << 10, Ways: 12}, // Niagara ways: partial second sig word
-		{Name: "l2x16w", Size: 64 << 10, Ways: 16}, // two full sig words
+		{Name: "tiny4w", Size: 4096, Ways: 4, WayMemo: 16},      // 16 sets, heavy conflicts
+		{Name: "l1d8w", Size: 32 << 10, Ways: 8, WayMemo: 128},  // Xeon L1, one full sig word
+		{Name: "l2n12w", Size: 24 << 10, Ways: 12, WayMemo: 64}, // Niagara ways: partial second sig word
+		{Name: "l2x16w", Size: 64 << 10, Ways: 16, WayMemo: 32}, // two full sig words, tiny memo (heavy slot reuse)
 	}
 	// ops mixes name what each trace may do beyond read runs; "clean" keeps
 	// the cache on the accessRunClean fast path for its whole life.
@@ -90,7 +120,9 @@ func TestAccessRunDifferential(t *testing.T) {
 		for _, mode := range modes {
 			t.Run(cfg.Name+"/"+mode, func(t *testing.T) {
 				rng := rand.New(rand.NewSource(int64(cfg.Size) + int64(len(mode))))
-				run, ref := New(cfg), New(cfg)
+				refCfg := cfg
+				refCfg.WayMemo = 0 // the reference runs memo-free
+				run, ref := New(cfg), New(refCfg)
 				sets := uint64(cfg.Sets())
 				span := sets * uint64(cfg.Ways) * 3 // enough aliasing to evict
 				var gotBuf []RunMiss
@@ -113,6 +145,13 @@ func TestAccessRunDifferential(t *testing.T) {
 						if h1 != h2 || p1 != p2 || v1 != v2 {
 							t.Fatalf("op %d Access(%d) diverged", op, line)
 						}
+						if h1 && rng.Intn(2) == 0 {
+							// The line is now the MRU way on both sides, which
+							// is exactly HitAgain's precondition.
+							again := mode == "writes" || mode == "everything"
+							run.HitAgain(line, again)
+							ref.HitAgain(line, again)
+						}
 					case k < 9:
 						if mode == "prefetch" || mode == "everything" {
 							line := 1 + rng.Uint64()%span
@@ -125,13 +164,22 @@ func TestAccessRunDifferential(t *testing.T) {
 					default:
 						if mode == "everything" {
 							line := 1 + rng.Uint64()%span
-							if run.WriteBack(line) != ref.WriteBack(line) {
+							if rng.Intn(4) == 0 {
+								// Invalidate strands the line's memo entry;
+								// nothing may ever validate it again.
+								if run.Invalidate(line) != ref.Invalidate(line) {
+									t.Fatalf("op %d Invalidate(%d) diverged", op, line)
+								}
+							} else if run.WriteBack(line) != ref.WriteBack(line) {
 								t.Fatalf("op %d WriteBack(%d) diverged", op, line)
 							}
 						}
 					}
 					if d := diffState(run, ref); d != "" {
 						t.Fatalf("op %d (%s): state diverged: %s", op, mode, d)
+					}
+					if d := checkMemo(run); d != "" {
+						t.Fatalf("op %d (%s): %s", op, mode, d)
 					}
 				}
 			})
@@ -146,8 +194,10 @@ func FuzzAccessRun(f *testing.F) {
 	f.Add([]byte{0, 1, 4, 1, 9, 3, 2, 17, 0, 3, 9, 0, 0, 200, 9})
 	f.Add([]byte{1, 255, 16, 0, 3, 3, 3, 3, 3, 2, 7, 1, 1, 7, 2})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		cfg := Config{Name: "fuzz", Size: 1024, Ways: 4} // 4 sets
-		run, ref := New(cfg), New(cfg)
+		// The memo'd side uses an 8-slot memo over a 64-line space: slot
+		// collisions and stale entries on every few ops.
+		cfg := Config{Name: "fuzz", Size: 1024, Ways: 4, WayMemo: 8} // 4 sets
+		run, ref := New(cfg), New(Config{Name: "fuzz", Size: 1024, Ways: 4})
 		var gotBuf []RunMiss
 		for i := 0; i+2 < len(data); i += 3 {
 			op, a, b := data[i]&3, uint64(data[i+1]), uint64(data[i+2])
@@ -168,12 +218,19 @@ func FuzzAccessRun(f *testing.F) {
 					t.Fatalf("Install(%d) diverged", line)
 				}
 			case 3:
-				if run.WriteBack(line) != ref.WriteBack(line) {
+				if b&1 == 1 {
+					if run.Invalidate(line) != ref.Invalidate(line) {
+						t.Fatalf("Invalidate(%d) diverged", line)
+					}
+				} else if run.WriteBack(line) != ref.WriteBack(line) {
 					t.Fatalf("WriteBack(%d) diverged", line)
 				}
 			}
 			if d := diffState(run, ref); d != "" {
 				t.Fatalf("state diverged after op %d: %s", i/3, d)
+			}
+			if d := checkMemo(run); d != "" {
+				t.Fatalf("after op %d: %s", i/3, d)
 			}
 		}
 	})

@@ -30,6 +30,11 @@ type Config struct {
 	Size uint64
 	// Ways is the associativity.
 	Ways int
+	// WayMemo, when nonzero, sizes the cache's line→way memo table in
+	// slots (rounded up to a power of two, capped at memoMaxEntries).
+	// Zero disables the memo. See the memo field for the design and
+	// DESIGN.md §5 for when it pays.
+	WayMemo int
 }
 
 // Sets returns the number of sets implied by the config.
@@ -46,22 +51,34 @@ func (c Config) Sets() int {
 // replacement. Tags are full line numbers, so distinct simulated addresses
 // never alias.
 //
+// The hot-path state is laid out for the *host's* caches — the simulator
+// prices hundreds of millions of accesses, each a handful of randomly
+// indexed loads, so the number of distinct host cache lines touched per
+// simulated access dominates wall-clock time (the paper's own lesson,
+// applied to the tool that reproduces it):
+//
+//   - All per-set lookup metadata — signature words, recency permutation,
+//     MRU hint, fill count — lives in one 32-byte setMeta record, so a
+//     lookup touches one metadata line instead of four parallel arrays.
+//   - A line's dirty and prefetched flags live in the top bits of its tag
+//     word (line numbers are addresses >> 6 and stay far below 2^62), so
+//     the flags ride along with the tag compare and there is no flags
+//     array at all.
+//
 // Replacement state is a packed recency permutation, not timestamps: each
 // set keeps one 64-bit word holding its way indices as nibbles ordered
 // most- to least-recently used. A hit moves its way to the front of the
 // word; a full set's victim is read off the tail nibble. Because LRU
 // timestamps within a set are strictly monotonic and distinct, the
 // permutation carries exactly the same information — the victim choice is
-// bit-identical to a stamp scan — while costing one word of state per set
-// (the whole order table for a 4 MiB L2 fits in 32 KiB) instead of a
-// per-way stamp array that a victim scan must walk. It also removes the
-// access-counter wraparound hazard outright: a 32-bit tick wraps after 4 G
-// accesses — a paper-scale cell prices more — silently inverting LRU order
-// mid-run, and a permutation has no counter to wrap.
+// bit-identical to a stamp scan — while costing one word of state per set.
+// It also removes the access-counter wraparound hazard outright: a 32-bit
+// tick wraps after 4 G accesses — a paper-scale cell prices more — silently
+// inverting LRU order mid-run, and a permutation has no counter to wrap.
 //
-// Lookups probe the set's most-recently-hit way before scanning: the probe
-// only changes *search order*, never which way matches or which way LRU
-// evicts.
+// Lookups probe the set's most-recently-hit way, then the optional line→way
+// memo, before scanning: both probes only change *search order*, never
+// which way matches or which way LRU evicts.
 type Cache struct {
 	cfg      Config
 	sets     int
@@ -69,20 +86,26 @@ type Cache struct {
 	setMask  uint64
 	lruShift uint // (ways-1)*4: tail-nibble position in an order word
 
-	tags  []uint64 // sets*ways; 0 means invalid (line 0 is never used)
-	flags []uint8  // bit 0 dirty, bit 1 prefetched-not-yet-used
-	order []uint64 // per-set recency permutation, MRU nibble lowest
-	mru   []uint8  // per-set way of the last hit or install (prediction only)
-	fill  []uint16 // per-set count of valid ways; ways == full
+	tags []uint64 // sets*ways; line | flag bits; 0 means invalid
+	meta []setMeta
 
-	// sigw holds one signature byte per way, packed eight ways to a word,
-	// sigStride words per set: a lookup compares eight ways with one XOR
-	// and only tag-verifies the bytes that match the probe signature.
-	// Signatures are a pure lookup accelerator — every candidate is
-	// confirmed against the full tag, so outcomes cannot change.
-	sigw        []uint64
-	sigStride   int
+	sigStride   int    // signature words per set (1 for ways <= 8, else 2)
 	sigLastMask uint64 // high-bit mask covering the last word's real ways
+
+	// memo is a small direct-mapped line→way lookup table: slot
+	// line&memoMask remembers the way a recently-found line occupied,
+	// packed into the line word's spare top byte. A probe is validated
+	// against the tag it names — the entry claims (line, way), and the
+	// way's tag either still holds line or the entry is stale — so the
+	// memo needs no invalidation hooks anywhere and can never change a
+	// lookup's outcome, only skip the signature scan that would have
+	// produced it. It extends the per-set MRU probe the way that probe
+	// extends findWay: mru catches a set's immediate repeats, the memo
+	// catches recently-found lines that interleaved access streams rotate
+	// through. Sized by Config.WayMemo; empty (mask 0, always misses)
+	// when disabled.
+	memo     []uint64
+	memoMask uint64
 
 	// Counters are cumulative for the life of the cache (Reset clears).
 	Hits, Misses       uint64
@@ -92,20 +115,47 @@ type Cache struct {
 
 	// everDirty and everPf record whether any line was ever marked dirty
 	// or installed by a prefetcher. While both are false — true for the
-	// whole life of an L1 I-cache — every flags byte is zero, and
-	// AccessRun takes a lean loop that never touches the flags array and
+	// whole life of an L1 I-cache — every tag word is a bare line number,
+	// and AccessRun takes a lean loop that never inspects flag bits and
 	// never reports dirty victims.
 	everDirty, everPf bool
 }
 
+// setMeta is one set's lookup metadata, packed into a single 32-byte record
+// so a set probe touches one host cache line: the signature words (sig1
+// unused for ways <= 8), the packed recency permutation, the MRU way hint
+// and the fill count.
+type setMeta struct {
+	sig0  uint64
+	sig1  uint64
+	order uint64
+	mru   uint16
+	fill  uint16
+	_     uint32
+}
+
 const (
-	flagDirty      = 1 << 0
-	flagPrefetched = 1 << 1
+	// flagDirty and flagPrefetched occupy the top bits of a tag word,
+	// above any reachable line number (addresses stay below 2^56, lines
+	// below 2^50). tagLineMask strips them for compares.
+	flagDirty      = uint64(1) << 62
+	flagPrefetched = uint64(1) << 63
+	tagLineMask    = flagDirty - 1
 
 	// identityOrder packs way indices 15..0 as nibbles: the initial
 	// recency permutation. Ways the cache doesn't have sit inert in the
 	// high nibbles and are never promoted past a real way.
 	identityOrder = 0xFEDCBA9876543210
+
+	// memoWayShift packs a memo entry's way into the top byte of its line
+	// word; line numbers never reach 2^56, so the byte is always free.
+	memoWayShift = 56
+	memoLineMask = uint64(1)<<memoWayShift - 1
+
+	// memoMaxEntries caps the memo's footprint (8192 slots = 64 KiB):
+	// beyond the cap extra slots stop paying for their host-cache
+	// pressure.
+	memoMaxEntries = 8192
 )
 
 // promote moves way w to the MRU front of a packed recency word: the nibble
@@ -127,36 +177,74 @@ func sigOf(line uint64) uint64 {
 	return line * 0x9e3779b97f4a7c15 >> 56
 }
 
-// findWay returns the way of set sn holding line, or -1. tags must be the
-// set's tag slice. The signature words narrow the search to ways whose
-// signature byte matches; each candidate is verified against the full tag,
-// and tags within a set are distinct, so the result is exactly what a linear
-// scan would find. (The SWAR byte-match can flag a false extra candidate
-// above a genuinely matching byte; the tag verify discards it.)
-func (c *Cache) findWay(sn int, line uint64, tags []uint64) int {
+// findWay returns the way of set sn (metadata record m) holding line, or -1.
+// tags must be the set's tag slice. The signature words narrow the search to
+// ways whose signature byte matches; each candidate is verified against the
+// full tag, and tags within a set are distinct, so the result is exactly
+// what a linear scan would find. (The SWAR byte-match can flag a false extra
+// candidate above a genuinely matching byte; the tag verify discards it.)
+func (c *Cache) findWay(m *setMeta, line uint64, tags []uint64) int {
 	pat := sigOf(line) * 0x0101010101010101
-	sw := sn * c.sigStride
-	for k := 0; k < c.sigStride; k++ {
-		x := c.sigw[sw+k] ^ pat
-		m := (x - 0x0101010101010101) &^ x & 0x8080808080808080
-		if k == c.sigStride-1 {
-			m &= c.sigLastMask
-		}
-		for ; m != 0; m &= m - 1 {
-			w := k<<3 + bits.TrailingZeros64(m)>>3
-			if tags[w] == line {
+	x := m.sig0 ^ pat
+	if c.sigStride == 1 {
+		// One signature word covers every way (ways <= 8: both platforms'
+		// L1s): straight-line SWAR with no loop overhead.
+		h := (x - 0x0101010101010101) &^ x & c.sigLastMask
+		for ; h != 0; h &= h - 1 {
+			w := bits.TrailingZeros64(h) >> 3
+			if tags[w]&tagLineMask == line {
 				return w
 			}
+		}
+		return -1
+	}
+	h := (x - 0x0101010101010101) &^ x & 0x8080808080808080
+	for ; h != 0; h &= h - 1 {
+		w := bits.TrailingZeros64(h) >> 3
+		if tags[w]&tagLineMask == line {
+			return w
+		}
+	}
+	x = m.sig1 ^ pat
+	h = (x - 0x0101010101010101) &^ x & c.sigLastMask
+	for ; h != 0; h &= h - 1 {
+		w := 8 + bits.TrailingZeros64(h)>>3
+		if tags[w]&tagLineMask == line {
+			return w
 		}
 	}
 	return -1
 }
 
-// setSig records line's signature for way w of set sn.
-func (c *Cache) setSig(sn, w int, line uint64) {
+// memoWay returns the memo's validated way for line in the set whose tags
+// are given, or -1. The recorded way's tag is the validator: it either still
+// holds line (the entry is live) or it does not (the entry is stale and is
+// ignored). Entry zero never validates — line 0 is never accessed.
+func (c *Cache) memoWay(line uint64, tags []uint64) int {
+	e := c.memo[line&c.memoMask]
+	if e&memoLineMask == line {
+		if w := int(e >> memoWayShift); tags[w]&tagLineMask == line {
+			return w
+		}
+	}
+	return -1
+}
+
+// memoRecord remembers that line was found at way w. With the memo disabled
+// the mask is 0 and slot 0 absorbs every store; callers on paths that
+// already branch on memoMask skip the call instead.
+func (c *Cache) memoRecord(line uint64, w int) {
+	c.memo[line&c.memoMask] = line | uint64(w)<<memoWayShift
+}
+
+// setSig records line's signature for way w in metadata record m.
+func setSig(m *setMeta, w int, line uint64) {
 	shift := uint(w&7) * 8
-	j := sn*c.sigStride + w>>3
-	c.sigw[j] = c.sigw[j]&^(0xFF<<shift) | sigOf(line)<<shift
+	if w < 8 {
+		m.sig0 = m.sig0&^(0xFF<<shift) | sigOf(line)<<shift
+	} else {
+		m.sig1 = m.sig1&^(0xFF<<shift) | sigOf(line)<<shift
+	}
 }
 
 // New builds a cache from cfg.
@@ -165,11 +253,19 @@ func New(cfg Config) *Cache {
 	if cfg.Ways > 16 {
 		panic(fmt.Sprintf("cache %s: %d ways overflow the packed recency word", cfg.Name, cfg.Ways))
 	}
-	n := sets * cfg.Ways
 	stride := (cfg.Ways + 7) / 8
 	lastMask := uint64(0x8080808080808080)
 	if r := cfg.Ways % 8; r != 0 {
 		lastMask &= uint64(1)<<(8*r) - 1
+	}
+	memoSize := 1
+	if cfg.WayMemo > 0 {
+		for memoSize < cfg.WayMemo {
+			memoSize *= 2
+		}
+		if memoSize > memoMaxEntries {
+			memoSize = memoMaxEntries
+		}
 	}
 	c := &Cache{
 		cfg:         cfg,
@@ -177,17 +273,15 @@ func New(cfg Config) *Cache {
 		ways:        cfg.Ways,
 		setMask:     uint64(sets - 1),
 		lruShift:    uint(cfg.Ways-1) * 4,
-		tags:        make([]uint64, n),
-		flags:       make([]uint8, n),
-		order:       make([]uint64, sets),
-		mru:         make([]uint8, sets),
-		fill:        make([]uint16, sets),
-		sigw:        make([]uint64, sets*stride),
+		tags:        make([]uint64, sets*cfg.Ways),
+		meta:        make([]setMeta, sets),
 		sigStride:   stride,
 		sigLastMask: lastMask,
+		memo:        make([]uint64, memoSize),
+		memoMask:    uint64(memoSize - 1),
 	}
-	for i := range c.order {
-		c.order[i] = identityOrder
+	for i := range c.meta {
+		c.meta[i].order = identityOrder
 	}
 	return c
 }
@@ -203,31 +297,37 @@ func (c *Cache) Access(line uint64, write bool) (hit, prefetched bool, victim Vi
 	sn := int(line & c.setMask)
 	base := sn * c.ways
 	tags := c.tags[base : base+c.ways]
-	w := int(c.mru[sn])
-	if !(w < len(tags) && tags[w] == line) {
-		w = c.findWay(sn, line, tags)
-		if w < 0 {
+	m := &c.meta[sn]
+	w := int(m.mru)
+	if !(w < len(tags) && tags[w]&tagLineMask == line) {
+		if c.memoMask != 0 {
+			if w = c.memoWay(line, tags); w < 0 {
+				if w = c.findWay(m, line, tags); w < 0 {
+					c.Misses++
+					return false, false, c.install(m, base, line, write, false)
+				}
+				c.memoRecord(line, w)
+			}
+		} else if w = c.findWay(m, line, tags); w < 0 {
 			c.Misses++
-			victim = c.install(sn, base, line, write, false)
-			return false, false, victim
+			return false, false, c.install(m, base, line, write, false)
 		}
-		c.mru[sn] = uint8(w)
+		m.mru = uint16(w)
 	}
 	c.Hits++
 	// Promoting the way that is already at the front is the identity;
 	// skipping it makes the repeat-hit path one compare.
-	if ord := c.order[sn]; ord&0xF != uint64(w) {
-		c.order[sn] = promote(ord, w)
+	if ord := m.order; ord&0xF != uint64(w) {
+		m.order = promote(ord, w)
 	}
-	i := base + w
-	fl := c.flags[i]
-	if write {
-		fl |= flagDirty
-		c.flags[i] = fl
+	t := tags[w]
+	if write && t&flagDirty == 0 {
+		t |= flagDirty
+		tags[w] = t
 		c.everDirty = true
 	}
-	if fl&flagPrefetched != 0 {
-		c.flags[i] = fl &^ flagPrefetched
+	if t&flagPrefetched != 0 {
+		tags[w] = t &^ flagPrefetched
 		c.PrefetchUsefulHits++
 		return true, true, Victim{}
 	}
@@ -247,7 +347,7 @@ func (c *Cache) HitAgain(line uint64, write bool) {
 	c.Hits++
 	if write {
 		sn := int(line & c.setMask)
-		c.flags[sn*c.ways+int(c.mru[sn])] |= flagDirty
+		c.tags[sn*c.ways+int(c.meta[sn].mru)] |= flagDirty
 		c.everDirty = true
 	}
 }
@@ -277,33 +377,42 @@ func (c *Cache) AccessRun(first, n uint64, write bool, buf []RunMiss) []RunMiss 
 	base := sn * ways
 	for line, end := first, first+n; line < end; line++ {
 		tags := c.tags[base : base+ways]
-		w := int(c.mru[sn])
-		hit := w < ways && tags[w] == line
+		m := &c.meta[sn]
+		w := int(m.mru)
+		hit := w < ways && tags[w]&tagLineMask == line
 		if !hit {
-			if w = c.findWay(sn, line, tags); w >= 0 {
-				c.mru[sn] = uint8(w)
+			w = -1
+			if c.memoMask != 0 {
+				w = c.memoWay(line, tags)
+			}
+			if w < 0 {
+				if w = c.findWay(m, line, tags); w >= 0 && c.memoMask != 0 {
+					c.memoRecord(line, w)
+				}
+			}
+			if w >= 0 {
+				m.mru = uint16(w)
 				hit = true
 			}
 		}
 		if hit {
 			c.Hits++
-			if ord := c.order[sn]; ord&0xF != uint64(w) {
-				c.order[sn] = promote(ord, w)
+			if ord := m.order; ord&0xF != uint64(w) {
+				m.order = promote(ord, w)
 			}
-			i := base + w
-			fl := c.flags[i]
-			if write {
-				fl |= flagDirty
-				c.flags[i] = fl
+			t := tags[w]
+			if write && t&flagDirty == 0 {
+				t |= flagDirty
+				tags[w] = t
 				c.everDirty = true
 			}
-			if fl&flagPrefetched != 0 {
-				c.flags[i] = fl &^ flagPrefetched
+			if t&flagPrefetched != 0 {
+				tags[w] = t &^ flagPrefetched
 				c.PrefetchUsefulHits++
 			}
 		} else {
 			c.Misses++
-			buf = append(buf, RunMiss{Line: line, Victim: c.install(sn, base, line, write, false)})
+			buf = append(buf, RunMiss{Line: line, Victim: c.install(m, base, line, write, false)})
 		}
 		if sn++; sn == c.sets {
 			sn, base = 0, 0
@@ -314,38 +423,48 @@ func (c *Cache) AccessRun(first, n uint64, write bool, buf []RunMiss) []RunMiss 
 	return buf
 }
 
-// accessRunClean is AccessRun for a cache whose flags bytes are all zero —
-// no line dirty, none prefetched — under a read run. Nothing can set a flag
-// on this path, so the loop skips the flags array entirely: hits are a
-// probe-or-scan plus a recency promote, misses a tag store plus a tail
-// rotation, and victims are never dirty. An L1 I-cache stays on this path
-// for its whole life, which makes sequential instruction fetch — the
-// simulator's single largest access stream — its cheapest shape.
+// accessRunClean is AccessRun for a cache that has never held a dirty or
+// prefetched line, under a read run. Nothing can set a flag bit on this
+// path, so every tag word is a bare line number: hits are a probe-or-scan
+// plus a recency promote, misses a tag store plus a tail rotation, and
+// victims are never dirty. An L1 I-cache stays on this path for its whole
+// life, which makes sequential instruction fetch — the simulator's single
+// largest access stream — its cheapest shape.
 func (c *Cache) accessRunClean(first, n uint64, buf []RunMiss) []RunMiss {
 	sn := int(first & c.setMask)
 	ways := c.ways
 	base := sn * ways
 	for line, end := first, first+n; line < end; line++ {
 		tags := c.tags[base : base+ways]
-		w := int(c.mru[sn])
+		m := &c.meta[sn]
+		w := int(m.mru)
 		hit := w < ways && tags[w] == line
 		if !hit {
-			if w = c.findWay(sn, line, tags); w >= 0 {
-				c.mru[sn] = uint8(w)
+			w = -1
+			if c.memoMask != 0 {
+				w = c.memoWay(line, tags)
+			}
+			if w < 0 {
+				if w = c.findWay(m, line, tags); w >= 0 && c.memoMask != 0 {
+					c.memoRecord(line, w)
+				}
+			}
+			if w >= 0 {
+				m.mru = uint16(w)
 				hit = true
 			}
 		}
 		if hit {
 			c.Hits++
-			if ord := c.order[sn]; ord&0xF != uint64(w) {
-				c.order[sn] = promote(ord, w)
+			if ord := m.order; ord&0xF != uint64(w) {
+				m.order = promote(ord, w)
 			}
 		} else {
 			c.Misses++
-			ord := c.order[sn]
+			ord := m.order
 			var oldest int
 			var victim Victim
-			if int(c.fill[sn]) == ways {
+			if int(m.fill) == ways {
 				oldest = int(ord >> c.lruShift & 0xF)
 				victim = Victim{Line: tags[oldest], Valid: true}
 				low := uint64(1)<<c.lruShift - 1
@@ -357,13 +476,16 @@ func (c *Cache) accessRunClean(first, n uint64, buf []RunMiss) []RunMiss {
 						break
 					}
 				}
-				c.fill[sn]++
+				m.fill++
 				ord = promote(ord, oldest)
 			}
 			tags[oldest] = line
-			c.setSig(sn, oldest, line)
-			c.order[sn] = ord
-			c.mru[sn] = uint8(oldest)
+			setSig(m, oldest, line)
+			if c.memoMask != 0 {
+				c.memoRecord(line, oldest)
+			}
+			m.order = ord
+			m.mru = uint16(oldest)
 			buf = append(buf, RunMiss{Line: line, Victim: victim})
 		}
 		if sn++; sn == c.sets {
@@ -383,16 +505,27 @@ func (c *Cache) Install(line uint64, prefetch bool) (installed bool, victim Vict
 	sn := int(line & c.setMask)
 	base := sn * c.ways
 	tags := c.tags[base : base+c.ways]
-	if w := int(c.mru[sn]); w < len(tags) && tags[w] == line {
+	m := &c.meta[sn]
+	if w := int(m.mru); w < len(tags) && tags[w]&tagLineMask == line {
 		return false, Victim{}
 	}
-	if c.findWay(sn, line, tags) >= 0 {
+	// A memo-validated line is resident: the common case for a prefetcher
+	// re-issuing lines of an overlapping stream window, and residency is
+	// the only question Install asks, so the whole signature scan is
+	// skipped without touching any state.
+	if c.memoMask != 0 && c.memoWay(line, tags) >= 0 {
+		return false, Victim{}
+	}
+	if w := c.findWay(m, line, tags); w >= 0 {
+		if c.memoMask != 0 {
+			c.memoRecord(line, w)
+		}
 		return false, Victim{}
 	}
 	if prefetch {
 		c.PrefetchInstalls++
 	}
-	return true, c.install(sn, base, line, false, prefetch)
+	return true, c.install(m, base, line, false, prefetch)
 }
 
 // install picks the set's LRU victim, evicts it, and installs line as the
@@ -403,22 +536,22 @@ func (c *Cache) Install(line uint64, prefetch bool) (installed bool, victim Vict
 // then be the invalid one) — the same choice the original stamp scan made,
 // since untouched ways carried stamp 0 and could never lose a
 // strictly-less comparison.
-func (c *Cache) install(sn, base int, line uint64, write, prefetch bool) Victim {
+func (c *Cache) install(m *setMeta, base int, line uint64, write, prefetch bool) Victim {
 	if write {
 		c.everDirty = true
 	}
 	if prefetch {
 		c.everPf = true
 	}
-	ord := c.order[sn]
+	ord := m.order
 	var oldest int
 	var victim Victim
-	if int(c.fill[sn]) == c.ways {
+	if int(m.fill) == c.ways {
 		oldest = int(ord >> c.lruShift & 0xF)
-		i := base + oldest
+		t := c.tags[base+oldest]
 		victim = Victim{
-			Line:  c.tags[i],
-			Dirty: c.flags[i]&flagDirty != 0,
+			Line:  t & tagLineMask,
+			Dirty: t&flagDirty != 0,
 			Valid: true,
 		}
 		if victim.Dirty {
@@ -437,22 +570,23 @@ func (c *Cache) install(sn, base int, line uint64, write, prefetch bool) Victim 
 				break
 			}
 		}
-		c.fill[sn]++
+		m.fill++
 		ord = promote(ord, oldest)
 	}
-	i := base + oldest
-	c.tags[i] = line
-	c.setSig(sn, oldest, line)
-	c.order[sn] = ord
-	var f uint8
+	t := line
 	if write {
-		f |= flagDirty
+		t |= flagDirty
 	}
 	if prefetch {
-		f |= flagPrefetched
+		t |= flagPrefetched
 	}
-	c.flags[i] = f
-	c.mru[sn] = uint8(oldest)
+	c.tags[base+oldest] = t
+	setSig(m, oldest, line)
+	if c.memoMask != 0 {
+		c.memoRecord(line, oldest)
+	}
+	m.order = ord
+	m.mru = uint16(oldest)
 	return victim
 }
 
@@ -466,16 +600,27 @@ func (c *Cache) WriteBack(line uint64) Victim {
 	sn := int(line & c.setMask)
 	base := sn * c.ways
 	tags := c.tags[base : base+c.ways]
-	if w := int(c.mru[sn]); w < len(tags) && tags[w] == line {
-		c.flags[base+w] |= flagDirty
+	m := &c.meta[sn]
+	if w := int(m.mru); w < len(tags) && tags[w]&tagLineMask == line {
+		tags[w] |= flagDirty
 		return Victim{}
 	}
-	if w := c.findWay(sn, line, tags); w >= 0 {
-		c.mru[sn] = uint8(w)
-		c.flags[base+w] |= flagDirty
+	if c.memoMask != 0 {
+		if w := c.memoWay(line, tags); w >= 0 {
+			m.mru = uint16(w)
+			tags[w] |= flagDirty
+			return Victim{}
+		}
+	}
+	if w := c.findWay(m, line, tags); w >= 0 {
+		if c.memoMask != 0 {
+			c.memoRecord(line, w)
+		}
+		m.mru = uint16(w)
+		tags[w] |= flagDirty
 		return Victim{}
 	}
-	return c.install(sn, base, line, true, false)
+	return c.install(m, base, line, true, false)
 }
 
 // Contains reports whether line is resident (no state change).
@@ -483,11 +628,11 @@ func (c *Cache) Contains(line uint64) bool {
 	sn := int(line & c.setMask)
 	base := sn * c.ways
 	tags := c.tags[base : base+c.ways]
-	if w := int(c.mru[sn]); w < len(tags) && tags[w] == line {
+	if w := int(c.meta[sn].mru); w < len(tags) && tags[w]&tagLineMask == line {
 		return true
 	}
 	for _, t := range tags {
-		if t == line {
+		if t&tagLineMask == line {
 			return true
 		}
 	}
@@ -496,19 +641,25 @@ func (c *Cache) Contains(line uint64) bool {
 
 // Invalidate drops line if resident, returning whether it was dirty. The
 // way keeps its slot in the recency permutation; because the set is no
-// longer full, the next install re-fills it via the invalid-way scan.
+// longer full, the next install re-fills it via the invalid-way scan. The
+// line's memo entry, if any, goes stale and stops validating the moment the
+// tag is cleared — no memo bookkeeping is needed.
 func (c *Cache) Invalidate(line uint64) (wasDirty bool) {
 	sn := int(line & c.setMask)
 	set := sn * c.ways
+	m := &c.meta[sn]
 	for w := 0; w < c.ways; w++ {
 		i := set + w
-		if c.tags[i] == line {
-			wasDirty = c.flags[i]&flagDirty != 0
+		if c.tags[i]&tagLineMask == line {
+			wasDirty = c.tags[i]&flagDirty != 0
 			c.tags[i] = 0
-			c.flags[i] = 0
 			shift := uint(w&7) * 8
-			c.sigw[sn*c.sigStride+w>>3] &^= 0xFF << shift
-			c.fill[sn]--
+			if w < 8 {
+				m.sig0 &^= 0xFF << shift
+			} else {
+				m.sig1 &^= 0xFF << shift
+			}
+			m.fill--
 			return wasDirty
 		}
 	}
@@ -519,15 +670,12 @@ func (c *Cache) Invalidate(line uint64) (wasDirty bool) {
 func (c *Cache) Reset() {
 	for i := range c.tags {
 		c.tags[i] = 0
-		c.flags[i] = 0
 	}
-	for i := range c.order {
-		c.order[i] = identityOrder
-		c.mru[i] = 0
-		c.fill[i] = 0
+	for i := range c.meta {
+		c.meta[i] = setMeta{order: identityOrder}
 	}
-	for i := range c.sigw {
-		c.sigw[i] = 0
+	for i := range c.memo {
+		c.memo[i] = 0
 	}
 	c.Hits, c.Misses, c.Writebacks = 0, 0, 0
 	c.PrefetchInstalls, c.PrefetchUsefulHits = 0, 0

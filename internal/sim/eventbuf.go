@@ -13,10 +13,16 @@ import "webmm/internal/mem"
 //
 // Kind and class are packed into one meta byte (kind in the low two bits,
 // class above) so event dispatch needs a single byte load.
+// The columns are kept at full backing length with one shared fill cursor
+// (n), rather than as three len-tracked append targets: a push then writes
+// three slots and bumps one integer instead of updating three slice lengths,
+// and the generated code keeps the columns' base pointers in registers
+// across the run-emission loops.
 type EventBuf struct {
 	addrs []mem.Addr
 	sizes []uint32
 	meta  []uint8
+	n     int
 }
 
 const (
@@ -36,20 +42,20 @@ func MetaKind(m uint8) Kind { return Kind(m & metaKindMask) }
 func MetaClass(m uint8) Class { return Class(m >> metaClassShift) }
 
 // Len returns the number of buffered events.
-func (b *EventBuf) Len() int { return len(b.meta) }
+func (b *EventBuf) Len() int { return b.n }
 
 // Cap returns the buffer's current capacity in events.
-func (b *EventBuf) Cap() int { return cap(b.meta) }
+func (b *EventBuf) Cap() int { return len(b.meta) }
 
 // Addrs returns the address column. The slice is owned by the buffer and
 // invalidated by the next Reset.
-func (b *EventBuf) Addrs() []mem.Addr { return b.addrs }
+func (b *EventBuf) Addrs() []mem.Addr { return b.addrs[:b.n] }
 
 // Sizes returns the size column (bytes per event).
-func (b *EventBuf) Sizes() []uint32 { return b.sizes }
+func (b *EventBuf) Sizes() []uint32 { return b.sizes[:b.n] }
 
 // Meta returns the packed kind+class column; decode with MetaKind/MetaClass.
-func (b *EventBuf) Meta() []uint8 { return b.meta }
+func (b *EventBuf) Meta() []uint8 { return b.meta[:b.n] }
 
 // At decodes event i into the Event record form (tests and inspection; the
 // pricing path walks the columns directly).
@@ -70,40 +76,43 @@ func (b *EventBuf) At(i int) Event {
 // events, and append's ~1.25× regime above 1024 elements would reallocate
 // and copy the columns ~5× their final size on the way up.
 func (b *EventBuf) push(a mem.Addr, size uint32, meta uint8) {
-	if len(b.meta) == cap(b.meta) {
-		b.grow()
+	n := b.n
+	if n == len(b.meta) {
+		b.grow(1)
 	}
-	b.addrs = append(b.addrs, a)
-	b.sizes = append(b.sizes, size)
-	b.meta = append(b.meta, meta)
+	b.addrs[n] = a
+	b.sizes[n] = size
+	b.meta[n] = meta
+	b.n = n + 1
 }
 
-func (b *EventBuf) grow() {
-	n := len(b.meta)
-	c := 2 * cap(b.meta)
+// grow resizes the columns so at least need more events fit.
+func (b *EventBuf) grow(need int) {
+	c := 2 * len(b.meta)
 	if c == 0 {
 		c = 1024
 	}
-	addrs := make([]mem.Addr, n, c)
-	sizes := make([]uint32, n, c)
-	meta := make([]uint8, n, c)
-	copy(addrs, b.addrs)
-	copy(sizes, b.sizes)
-	copy(meta, b.meta)
+	for c < b.n+need {
+		c *= 2
+	}
+	addrs := make([]mem.Addr, c)
+	sizes := make([]uint32, c)
+	meta := make([]uint8, c)
+	copy(addrs, b.addrs[:b.n])
+	copy(sizes, b.sizes[:b.n])
+	copy(meta, b.meta[:b.n])
 	b.addrs, b.sizes, b.meta = addrs, sizes, meta
 }
 
 // Reset empties the buffer, retaining capacity.
 func (b *EventBuf) Reset() {
-	b.addrs = b.addrs[:0]
-	b.sizes = b.sizes[:0]
-	b.meta = b.meta[:0]
+	b.n = 0
 }
 
 func newEventBuf(capacity int) EventBuf {
 	return EventBuf{
-		addrs: make([]mem.Addr, 0, capacity),
-		sizes: make([]uint32, 0, capacity),
-		meta:  make([]uint8, 0, capacity),
+		addrs: make([]mem.Addr, capacity),
+		sizes: make([]uint32, capacity),
+		meta:  make([]uint8, capacity),
 	}
 }

@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"testing"
+
+	"webmm/internal/mem"
+)
+
+// BenchmarkEventBufPush measures steady-state event emission: a warm buffer
+// refilled with a realistic kind mix. Every experiment's generation half
+// funnels through push, so this is the floor on emission cost per event.
+func BenchmarkEventBufPush(b *testing.B) {
+	buf := newEventBuf(0)
+	const round = 1 << 16
+	metas := [4]uint8{
+		PackMeta(Read, ClassApp),
+		PackMeta(Write, ClassApp),
+		PackMeta(IFetch, ClassApp),
+		PackMeta(Read, ClassAlloc),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if buf.Len() == round {
+			buf.Reset()
+		}
+		j := uint64(i)
+		buf.push(mem.Addr(j*64), uint32(8+j%56), metas[j%4])
+	}
+	if buf.Cap() > round*2 {
+		b.Fatalf("buffer grew past its high-water mark: cap %d", buf.Cap())
+	}
+}

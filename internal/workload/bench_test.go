@@ -1,0 +1,31 @@
+package workload
+
+import (
+	"testing"
+
+	"webmm/internal/core"
+
+	"webmm/internal/alloctest"
+)
+
+// BenchmarkGeneratorStep prices nothing: it isolates the generation side —
+// size draws, RNG, live-object bookkeeping, allocator calls and event
+// emission — which is the producer half of every experiment's hot loop.
+func BenchmarkGeneratorStep(b *testing.B) {
+	env := alloctest.NewEnv(11)
+	alloc := core.New(env, core.DefaultOptions())
+	g := NewGenerator(env, alloc, MediaWikiRW(), 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.RunSlice(1) {
+			g.EndTransaction(false) // per-object frees keep the heap bounded
+		}
+		if g.OOMPending() {
+			b.Fatal("generator hit OOM")
+		}
+		if env.Buf().Len() > 1<<16 {
+			env.Drain()
+		}
+	}
+}

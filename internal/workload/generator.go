@@ -24,6 +24,45 @@ const (
 // interpreter's dispatch loop does.
 const instrChunk = 1500
 
+// Mixture-component codes for the drawSize bucket table.
+const (
+	compSmall = iota
+	compMid
+	compBig
+	compHuge
+	// compSlow marks a bucket that straddles a component boundary; draws
+	// landing there take the original compare chain.
+	compSlow
+)
+
+// sizeTab maps the top 8 bits of a size draw to its mixture component.
+// RNG.Float64 returns k·2⁻⁵³ with k = Uint64()>>11, so u*256 is an exact
+// exponent shift and int(u*256) == k>>45: the bucket index is an exact
+// function of the draw, and any bucket lying wholly inside one component
+// selects that component exactly as the cumulative-weight compare chain
+// would. Only the 3 buckets containing a boundary (of 256) fall back to the
+// chain, so component selection is bit-for-bit unchanged while ~99% of
+// draws skip the float compares.
+var sizeTab = func() (t [256]uint8) {
+	for b := range t {
+		lo := float64(b) / 256
+		hi := float64(b+1) / 256
+		switch {
+		case hi <= wSmall:
+			t[b] = compSmall
+		case lo >= wSmall && hi <= wSmall+wMid:
+			t[b] = compMid
+		case lo >= wSmall+wMid && hi <= wSmall+wMid+wBig:
+			t[b] = compBig
+		case lo >= wSmall+wMid+wBig:
+			t[b] = compHuge
+		default:
+			t[b] = compSlow
+		}
+	}
+	return
+}()
+
 type obj struct {
 	p    heap.Ptr
 	size uint64
@@ -120,17 +159,34 @@ func (g *Generator) Stats() heap.Stats { return g.stats }
 // bound).
 func (g *Generator) StepsPerTransaction() int { return g.nMalloc }
 
-// drawSize samples the object-size mixture.
+// drawSize samples the object-size mixture. Component selection goes
+// through sizeTab on the draw's top 8 bits; the per-component value
+// expressions are kept verbatim (including evaluation order) so every
+// float rounding — and therefore every sampled size — matches the original
+// compare chain bit for bit.
 func (g *Generator) drawSize() uint64 {
 	a := g.prof.AvgSize
 	u := g.rng.Float64()
 	var s float64
-	switch {
-	case u < wSmall:
+	comp := sizeTab[int(u*256)]
+	if comp == compSlow {
+		switch {
+		case u < wSmall:
+			comp = compSmall
+		case u < wSmall+wMid:
+			comp = compMid
+		case u < wSmall+wMid+wBig:
+			comp = compBig
+		default:
+			comp = compHuge
+		}
+	}
+	switch comp {
+	case compSmall:
 		s = 8 + g.rng.Float64()*(a-8)
-	case u < wSmall+wMid:
+	case compMid:
 		s = a + g.rng.Float64()*2*a
-	case u < wSmall+wMid+wBig:
+	case compBig:
 		s = 3*a + g.rng.Float64()*17*a
 	default:
 		s = 4096 + g.rng.Float64()*(65536-4096)
