@@ -38,11 +38,16 @@
 // throughput, cache behaviour, and failures. Telemetry observes only — the
 // simulated results are bit-identical with and without it.
 //
-// With -faults, injected failures (OOM on fresh mappings, panics, a global
-// memory budget, cache corruption) stress the recovery paths: failed cells
-// render as FAILED rows, the run completes, a failure report goes to
-// stderr, and the exit status is 1. The cell cache is bypassed whenever
-// the plan perturbs simulation results.
+// With -faults, injected failures (OOM on fresh mappings, panics, a static
+// memory budget, a mid-run budget squeeze, cache corruption) stress the
+// recovery paths: failed cells render as FAILED rows, the run completes, a
+// failure report goes to stderr, and the exit status is 1. The cell cache
+// is bypassed whenever the plan perturbs simulation results. With -budget,
+// a cell runs under a static per-stream heap limit (the heap-limit sweep's
+// x-axis); a budget below the allocator's memory floor is a deterministic
+// FAILED row. webmm serve additionally takes -global-budget, a dynamic
+// MemBalancer-style budget apportioned across concurrent cells with a
+// graceful-degradation admission ladder.
 //
 // Each experiment's cells are enumerated by its planner and simulated by a
 // worker pool of -jobs goroutines before the tables render; cells are
@@ -96,7 +101,8 @@ func run() int {
 		cores    = flag.Int("cores", 8, "cell: active cores")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
-		faults   = flag.String("faults", "", "fault plan, e.g. 'oom:0.01,panic:0.1,budget:512MiB,cachecorrupt' (see ParseFaults)")
+		faults   = flag.String("faults", "", "fault plan, e.g. 'oom:0.01,panic:0.1,budget:512MiB,squeeze:0.5,cachecorrupt' (see ParseFaults)")
+		budgetFl = flag.String("budget", "", "cell: static per-stream heap limit, e.g. 64MiB (empty = unlimited; the heap-limit sweep's x-axis)")
 		timeout  = flag.Duration("timeout", 0, "per-cell wall-clock budget (0 = unlimited); exceeding it fails the cell")
 
 		tracePath    = flag.String("trace", "", "write a Chrome Trace Event (JSONL) span log to this file")
@@ -185,13 +191,22 @@ func run() int {
 		r.Cache = cc
 	}
 
+	var cellBudget uint64
+	if *budgetFl != "" {
+		cellBudget, err = experiments.ParseSize(*budgetFl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "webmm: -budget:", err)
+			return 2
+		}
+	}
+
 	names := []string{*exp}
 	if *exp == "all" {
-		names = experiments.ExperimentNames()
+		names = experiments.PaperExperimentNames()
 	}
 	var ran []string
 	for _, name := range names {
-		if err := runExperiment(r, name, *jobs, *csv, *platform, *alloc, *wl, *cores); err != nil {
+		if err := runExperiment(r, name, *jobs, *csv, *platform, *alloc, *wl, *cores, cellBudget); err != nil {
 			fmt.Fprintln(os.Stderr, "webmm:", err)
 			return 2
 		}
@@ -205,9 +220,13 @@ func run() int {
 	if fails := r.Failures(); len(fails) > 0 {
 		fmt.Fprintf(os.Stderr, "webmm: %d cell(s) failed:\n", len(fails))
 		for _, f := range fails {
-			fmt.Fprintf(os.Stderr, "  %s/%s/%s/%d cores: %v (attempts: %d)\n",
+			lim := ""
+			if f.Cell.Budget > 0 {
+				lim = fmt.Sprintf(" (budget %d bytes)", f.Cell.Budget)
+			}
+			fmt.Fprintf(os.Stderr, "  %s/%s/%s/%d cores%s: %v (attempts: %d)\n",
 				f.Cell.Platform, f.Cell.Alloc, f.Cell.Workload, f.Cell.Cores,
-				f.Err, f.Attempts)
+				lim, f.Err, f.Attempts)
 		}
 		status = 1
 	}
@@ -242,10 +261,11 @@ func run() int {
 // memoized results. "cell" is the one experiment outside the registry: a
 // single cell selected by the -platform/-alloc/-workload/-cores flags.
 func runExperiment(r *experiments.Runner, name string, jobs int, csv bool,
-	platform, alloc, wl string, cores int) error {
+	platform, alloc, wl string, cores int, budget uint64) error {
 	if name == "cell" {
 		cr := r.Run(experiments.Cell{
 			Platform: platform, Alloc: alloc, Workload: wl, Cores: cores,
+			Budget: budget,
 		})
 		printCell(cr)
 		return nil

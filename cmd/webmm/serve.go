@@ -7,9 +7,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"webmm/internal/budget"
 	"webmm/internal/experiments"
 	"webmm/internal/server"
 )
@@ -30,6 +33,8 @@ func serveCmd(args []string) int {
 		cellDir  = fs.String("cellcache", "", "on-disk cell cache shared by all requests (empty = disabled)")
 		timeout  = fs.Duration("timeout", 0, "per-cell wall-clock budget (0 = unlimited); requests may tighten it")
 		drain    = fs.Duration("drain-timeout", 60*time.Second, "graceful-shutdown budget before in-flight cells are cancelled")
+		gbudget  = fs.String("global-budget", "", "global memory budget shared by all running cells, e.g. 2GiB (empty = unlimited); a controller apportions it by allocation rate and admission degrades under pressure")
+		pressure = fs.String("pressure", "", "pressure-ladder thresholds DEGRADE,QUEUE,SHED as utilization fractions (default 0.70,0.85,0.95); needs -global-budget")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(),
@@ -40,12 +45,37 @@ Endpoints:
   POST /run      a cell ({"platform","alloc","workload","cores",...}) or an
                  experiment ({"experiment":"fig1"}); streams NDJSON progress
   GET  /metrics  live Prometheus metrics of the shared telemetry registry
-  GET  /healthz  queue and worker status
+  GET  /healthz  queue, worker, and memory-pressure status
+
+With -global-budget, a MemBalancer-style controller splits the budget
+across running cells by allocation rate, and admission walks a pressure
+ladder instead of failing: new work degrades to sampled fidelity, then is
+turned away with a computed Retry-After, then shed with 429. /healthz stays
+green throughout.
 
 SIGTERM drains in-flight cells (bounded by -drain-timeout) and exits 0.
 `)
 	}
 	_ = fs.Parse(args)
+
+	var globalBudget uint64
+	if *gbudget != "" {
+		n, err := experiments.ParseSize(*gbudget)
+		if err != nil || n == 0 {
+			fmt.Fprintf(os.Stderr, "webmm serve: bad -global-budget %q\n", *gbudget)
+			return 2
+		}
+		globalBudget = n
+	}
+	policy, err := parsePressure(*pressure)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "webmm serve:", err)
+		return 2
+	}
+	if *pressure != "" && globalBudget == 0 {
+		fmt.Fprintln(os.Stderr, "webmm serve: -pressure needs -global-budget")
+		return 2
+	}
 
 	srv, err := server.New(server.Config{
 		Addr:       *addr,
@@ -58,6 +88,8 @@ SIGTERM drains in-flight cells (bounded by -drain-timeout) and exits 0.
 		CacheDir:     *cellDir,
 		CellTimeout:  *timeout,
 		DrainTimeout: *drain,
+		GlobalBudget: globalBudget,
+		Pressure:     policy,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "webmm serve:", err)
@@ -79,4 +111,31 @@ SIGTERM drains in-flight cells (bounded by -drain-timeout) and exits 0.
 	}
 	fmt.Fprintln(os.Stderr, "webmm serve: drained, shutting down cleanly")
 	return 0
+}
+
+// parsePressure parses the -pressure flag: three comma-separated ascending
+// utilization fractions in (0,1], e.g. "0.70,0.85,0.95". Empty means the
+// defaults.
+func parsePressure(s string) (budget.Policy, error) {
+	var p budget.Policy
+	if s == "" {
+		return p, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return p, fmt.Errorf("bad -pressure %q (want DEGRADE,QUEUE,SHED, e.g. 0.70,0.85,0.95)", s)
+	}
+	vals := make([]float64, 3)
+	for i, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 || v > 1 {
+			return p, fmt.Errorf("bad -pressure threshold %q (want a fraction in (0,1])", part)
+		}
+		vals[i] = v
+	}
+	if !(vals[0] < vals[1] && vals[1] < vals[2]) {
+		return p, fmt.Errorf("bad -pressure %q (thresholds must ascend)", s)
+	}
+	p.DegradeAt, p.QueueAt, p.ShedAt = vals[0], vals[1], vals[2]
+	return p, nil
 }

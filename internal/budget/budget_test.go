@@ -1,0 +1,314 @@
+package budget
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"webmm/internal/mem"
+	"webmm/internal/telemetry"
+)
+
+func newSpace() *mem.AddressSpace {
+	return mem.NewAddressSpace(0, 1<<40, mem.LargePageShiftXeon)
+}
+
+func mapBytes(t *testing.T, as *mem.AddressSpace, n uint64) {
+	t.Helper()
+	if _, err := as.TryMap(n, 0, mem.SmallPages); err != nil {
+		t.Fatalf("TryMap(%d): %v", n, err)
+	}
+}
+
+// TestSqrtRuleApportionment pins the MemBalancer math against hand-computed
+// fixtures: limit_i = live_i + headroom × √rate_i / Σ√rate_j.
+func TestSqrtRuleApportionment(t *testing.T) {
+	c := New(5*mem.MiB, Policy{})
+	asA, asB := newSpace(), newSpace()
+	la := c.Admit("a", []*mem.AddressSpace{asA})
+	lb := c.Admit("b", []*mem.AddressSpace{asB})
+
+	mapBytes(t, asA, 1*mem.MiB)
+	mapBytes(t, asB, 1*mem.MiB)
+
+	// Rates over a 1s tick: A allocates 1 MiB/s, B 4 MiB/s. Sizes above
+	// heap.MaxClassSize land in the exact large-bytes counter, so the
+	// fixture math is exact.
+	la.RecordAlloc(1 * mem.MiB)
+	lb.RecordAlloc(4 * mem.MiB)
+	c.Tick(time.Second)
+
+	// weights: √(2^20)=1024, √(2^22)=2048; headroom = 5−2 = 3 MiB.
+	// A: 1 MiB + 3 MiB × 1024/3072 = 2 MiB; B: 1 MiB + 2 MiB = 3 MiB.
+	if got := la.Limit(); got != 2*mem.MiB {
+		t.Errorf("limit A = %d, want %d", got, 2*mem.MiB)
+	}
+	if got := lb.Limit(); got != 3*mem.MiB {
+		t.Errorf("limit B = %d, want %d", got, 3*mem.MiB)
+	}
+	// Limits were pushed down to the spaces.
+	if got := asA.Budget(); got != 2*mem.MiB {
+		t.Errorf("pushed budget A = %d, want %d", got, 2*mem.MiB)
+	}
+	if got := asB.Budget(); got != 3*mem.MiB {
+		t.Errorf("pushed budget B = %d, want %d", got, 3*mem.MiB)
+	}
+	// Compositional: limits sum to the global budget when no floor kicks in.
+	if la.Limit()+lb.Limit() != c.Total() {
+		t.Errorf("limits sum to %d, want total %d", la.Limit()+lb.Limit(), c.Total())
+	}
+
+	// EWMA: a quiet second halves the estimate (alpha = 0.5).
+	c.Tick(time.Second)
+	if got := la.Rate(); got != 512*mem.KiB {
+		t.Errorf("rate A after quiet tick = %v, want %v", got, 512*mem.KiB)
+	}
+}
+
+// TestEqualSplitWithoutRateSignal: tenants with no samples yet weigh in
+// equally rather than starving.
+func TestEqualSplitWithoutRateSignal(t *testing.T) {
+	c := New(6*mem.MiB, Policy{})
+	var leases []*Lease
+	var spaces []*mem.AddressSpace
+	for i := 0; i < 3; i++ {
+		as := newSpace()
+		spaces = append(spaces, as)
+		leases = append(leases, c.Admit("t", []*mem.AddressSpace{as}))
+	}
+	for _, as := range spaces {
+		mapBytes(t, as, 1*mem.MiB)
+	}
+	c.Tick(time.Second)
+	for i, l := range leases {
+		if got := l.Limit(); got != 2*mem.MiB {
+			t.Errorf("lease %d limit = %d, want %d", i, got, 2*mem.MiB)
+		}
+	}
+}
+
+// TestFloorGuaranteesProgress: with headroom nearly gone, every tenant
+// still gets the policy floor above its live bytes (bounded overshoot
+// beats a zero-progress spin).
+func TestFloorGuaranteesProgress(t *testing.T) {
+	c := New(2*mem.MiB+100*mem.KiB, Policy{})
+	asA, asB := newSpace(), newSpace()
+	la := c.Admit("a", []*mem.AddressSpace{asA})
+	lb := c.Admit("b", []*mem.AddressSpace{asB})
+	mapBytes(t, asA, 1*mem.MiB)
+	mapBytes(t, asB, 1*mem.MiB)
+	c.Tick(time.Second)
+	want := uint64(1*mem.MiB + 256*mem.KiB) // live + default floor
+	if got := la.Limit(); got != want {
+		t.Errorf("limit A = %d, want %d", got, want)
+	}
+	if got := lb.Limit(); got != want {
+		t.Errorf("limit B = %d, want %d", got, want)
+	}
+}
+
+// TestSqueezeForcesDenials: capping a tenant below its live bytes scales
+// its space budgets down and its next map is refused — the dynamic-budget
+// fault path.
+func TestSqueezeForcesDenials(t *testing.T) {
+	c := New(16*mem.MiB, Policy{})
+	as := newSpace()
+	l := c.Admit("victim", []*mem.AddressSpace{as})
+	mapBytes(t, as, 2*mem.MiB)
+
+	l.Squeeze(0.5)
+	if got := as.Budget(); got != 1*mem.MiB {
+		t.Errorf("squeezed budget = %d, want %d", got, 1*mem.MiB)
+	}
+	if _, err := as.TryMap(1*mem.MiB, 0, mem.SmallPages); err == nil {
+		t.Fatal("map beyond squeezed budget succeeded")
+	}
+	if got := l.Denials(); got != 1 {
+		t.Errorf("lease denials = %d, want 1", got)
+	}
+	if got := c.Denials(); got != 1 {
+		t.Errorf("controller denials = %d, want 1", got)
+	}
+
+	// Release lifts the budget and keeps the denial tally.
+	l.Release()
+	if got := as.Budget(); got != 0 {
+		t.Errorf("budget after release = %d, want 0 (unlimited)", got)
+	}
+	if got := c.Denials(); got != 1 {
+		t.Errorf("controller denials after release = %d, want 1", got)
+	}
+	l.Release() // idempotent
+	if got := c.Denials(); got != 1 {
+		t.Errorf("double release double-counted denials: %d", got)
+	}
+}
+
+// TestPressureLadder pins the level thresholds and the live/peak tracking.
+func TestPressureLadder(t *testing.T) {
+	c := New(4*mem.MiB, Policy{})
+	for _, tc := range []struct {
+		p    float64
+		want Level
+	}{
+		{0, Nominal}, {0.69, Nominal}, {0.70, Degrade}, {0.84, Degrade},
+		{0.85, Queue}, {0.94, Queue}, {0.95, Shed}, {1.2, Shed},
+	} {
+		if got := c.LevelFor(tc.p); got != tc.want {
+			t.Errorf("LevelFor(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+
+	as := newSpace()
+	l := c.Admit("t", []*mem.AddressSpace{as})
+	mapBytes(t, as, 3*mem.MiB)
+	if got := c.Pressure(); got != 0.75 {
+		t.Errorf("pressure = %v, want 0.75", got)
+	}
+	if got := c.Level(); got != Degrade {
+		t.Errorf("level = %v, want degrade", got)
+	}
+	l.Release()
+	if got := c.PeakLive(); got != 3*mem.MiB {
+		t.Errorf("peak live = %d, want %d", got, 3*mem.MiB)
+	}
+	// Unbudgeted controller reports zero pressure.
+	c0 := New(0, Policy{})
+	if got := c0.Pressure(); got != 0 {
+		t.Errorf("unbudgeted pressure = %v, want 0", got)
+	}
+}
+
+// TestSetTotalRebalances: shrinking the global budget mid-run immediately
+// retargets the pushed limits.
+func TestSetTotalRebalances(t *testing.T) {
+	c := New(8*mem.MiB, Policy{})
+	as := newSpace()
+	c.Admit("t", []*mem.AddressSpace{as})
+	mapBytes(t, as, 1*mem.MiB)
+	c.Tick(time.Second)
+	if got := as.Budget(); got != 8*mem.MiB {
+		t.Errorf("budget = %d, want %d", got, 8*mem.MiB)
+	}
+	c.SetTotal(2 * mem.MiB)
+	if got := as.Budget(); got != 2*mem.MiB {
+		t.Errorf("budget after SetTotal = %d, want %d", got, 2*mem.MiB)
+	}
+	if got := c.Total(); got != 2*mem.MiB {
+		t.Errorf("total = %d, want %d", got, 2*mem.MiB)
+	}
+}
+
+// TestSqueezeSpacesHelper covers the controller-free squeeze path.
+func TestSqueezeSpacesHelper(t *testing.T) {
+	budgeted, unbudgeted, empty := newSpace(), newSpace(), newSpace()
+	budgeted.SetBudget(4 * mem.MiB)
+	mapBytes(t, unbudgeted, 2*mem.MiB)
+	SqueezeSpaces([]*mem.AddressSpace{budgeted, unbudgeted, empty}, 0.5)
+	if got := budgeted.Budget(); got != 2*mem.MiB {
+		t.Errorf("budgeted: %d, want %d", got, 2*mem.MiB)
+	}
+	if got := unbudgeted.Budget(); got != 1*mem.MiB {
+		t.Errorf("unbudgeted: %d, want %d", got, 1*mem.MiB)
+	}
+	if got := empty.Budget(); got != 0 {
+		t.Errorf("empty space must stay unlimited, got %d", got)
+	}
+}
+
+// TestMetricsPublished: the controller exports its state through the
+// telemetry registry, and a nil registry is a no-op.
+func TestMetricsPublished(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := New(4*mem.MiB, Policy{})
+	c.PublishTo(reg)
+	as := newSpace()
+	l := c.Admit("t", []*mem.AddressSpace{as})
+	mapBytes(t, as, 1*mem.MiB)
+	c.Tick(time.Second)
+	if got := reg.Gauge("webmm_budget_live_bytes", "", nil).Value(); got != float64(1*mem.MiB) {
+		t.Errorf("live gauge = %v, want %v", got, float64(1*mem.MiB))
+	}
+	if got := reg.Gauge("webmm_budget_pressure", "", nil).Value(); got != 0.25 {
+		t.Errorf("pressure gauge = %v, want 0.25", got)
+	}
+	l.Squeeze(0.25)
+	if _, err := as.TryMap(1*mem.MiB, 0, mem.SmallPages); err == nil {
+		t.Fatal("squeezed map succeeded")
+	}
+	c.Tick(time.Second)
+	if got := reg.Counter("webmm_budget_denials_total", "", nil).Value(); got != 1 {
+		t.Errorf("denials counter = %v, want 1", got)
+	}
+
+	// No registry: all instruments are nil, nothing panics.
+	c2 := New(1*mem.MiB, Policy{})
+	c2.PublishTo(nil)
+	c2.Tick(time.Second)
+}
+
+// TestStartCloseLifecycle: the background sampler starts, samples, and
+// shuts down cleanly; Close without Start is fine too.
+func TestStartCloseLifecycle(t *testing.T) {
+	c := New(4*mem.MiB, Policy{Interval: time.Millisecond})
+	as := newSpace()
+	c.Admit("t", []*mem.AddressSpace{as})
+	mapBytes(t, as, 1*mem.MiB)
+	c.Start()
+	c.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for as.Budget() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if as.Budget() == 0 {
+		t.Error("sampler never pushed a budget")
+	}
+	c.Close()
+	c.Close() // idempotent
+
+	New(0, Policy{}).Close() // Close without Start
+}
+
+// TestConcurrentControlPlane hammers Admit/Tick/Release/Pressure from
+// several goroutines while tenants map — meaningful under -race (CI runs
+// this package in the race job).
+func TestConcurrentControlPlane(t *testing.T) {
+	c := New(64*mem.MiB, Policy{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				as := newSpace()
+				l := c.Admit("t", []*mem.AddressSpace{as})
+				l.RecordAlloc(64 * mem.KiB)
+				if m, err := as.TryMap(256*mem.KiB, 0, mem.SmallPages); err == nil {
+					as.Unmap(m)
+				}
+				if i%3 == 0 {
+					l.Squeeze(0.5)
+				}
+				l.Release()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			c.Tick(time.Millisecond)
+			_ = c.Pressure()
+			_ = c.Denials()
+			_ = c.Level()
+		}
+	}()
+	wg.Wait()
+	if got := c.Tenants(); got != 0 {
+		t.Errorf("tenants after all released = %d, want 0", got)
+	}
+	if math.IsNaN(c.Pressure()) {
+		t.Error("pressure is NaN")
+	}
+}

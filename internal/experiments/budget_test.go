@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"webmm/internal/budget"
+	"webmm/internal/mem"
+	"webmm/internal/workload"
+)
+
+// TestControllerUnconstrainedBitIdentical: a cell governed by a controller
+// with ample budget is bit-identical to an ungoverned run — the lease only
+// observes, and limits that are never hit change nothing.
+func TestControllerUnconstrainedBitIdentical(t *testing.T) {
+	cfg := faultCfg()
+	c := phpCell("xeon", "default", workload.PhpBB().Name, 1)
+
+	base := NewRunner(cfg).Run(c)
+	if base.Failed {
+		t.Fatal("baseline cell failed")
+	}
+
+	ctrl := budget.New(4*mem.GiB, budget.Policy{})
+	defer ctrl.Close()
+	r := NewRunner(cfg)
+	r.Budget = ctrl
+	got := r.Run(c)
+
+	if got.Pressured {
+		t.Error("ample budget must not mark the result pressured")
+	}
+	if got.BudgetDenials != 0 {
+		t.Errorf("ample budget produced %d denials", got.BudgetDenials)
+	}
+	if !reflect.DeepEqual(base, got) {
+		t.Errorf("governed result differs from ungoverned:\nbase %+v\ngot  %+v", base, got)
+	}
+	if ctrl.PeakLive() == 0 {
+		t.Error("controller observed no live bytes")
+	}
+	if ctrl.Tenants() != 0 {
+		t.Errorf("lease not released: %d tenants", ctrl.Tenants())
+	}
+}
+
+// rubyRestartCell is a Ruby cell that restarts every 2 transactions — the
+// one paper configuration that keeps mapping address space in steady state
+// (each restart frees and rebuilds the process heap), so dynamic budget
+// pressure has something to bite.
+func rubyRestartCell() Cell {
+	return Cell{Platform: "xeon", Alloc: "glibc", Workload: workload.Rails().Name,
+		Cores: 1, Ruby: true, RestartEvery: 2}
+}
+
+// TestSqueezeFaultDegradesGracefully: the squeeze fault shrinks budgets at
+// the warmup→measure boundary. A PHP cell shrugs it off — the paper's
+// allocators recycle and stop mapping after warmup, so a limit below the
+// already-mapped footprint is never consulted again. A restarting Ruby cell
+// must remap mid-measure, cannot, and becomes a deterministic FAILED row —
+// contained to the cell, never a process crash.
+func TestSqueezeFaultDegradesGracefully(t *testing.T) {
+	cfg := faultCfg()
+	run := func(c Cell) (CellResult, *Runner) {
+		r := NewRunner(cfg)
+		r.Faults = FaultPlan{Squeeze: 0.5}
+		return r.Run(c), r
+	}
+
+	php, _ := run(phpCell("xeon", "default", workload.PhpBB().Name, 1))
+	if php.Failed || php.Pressured {
+		t.Errorf("squeezed PHP cell: failed=%v pressured=%v; recycling heaps must ride it out",
+			php.Failed, php.Pressured)
+	}
+
+	ruby, r := run(rubyRestartCell())
+	if !ruby.Failed {
+		t.Fatal("squeezed restarting Ruby cell completed; its restart cannot fit 0.5× its footprint")
+	}
+	if ruby.Pressured {
+		t.Error("static squeeze (no controller) must not mark the result pressured")
+	}
+	if fails := r.Failures(); len(fails) != 1 {
+		t.Fatalf("failures = %d, want 1 contained FAILED row", len(fails))
+	}
+	// Deterministic: the same squeeze fails the same way again.
+	again, _ := run(rubyRestartCell())
+	if !reflect.DeepEqual(ruby, again) {
+		t.Errorf("squeeze fault is not deterministic:\nfirst %+v\nagain %+v", ruby, again)
+	}
+}
+
+// TestPressuredResultsNotMemoizedOrCached: when a live controller denies a
+// cell's mappings — here a starved controller under which a Ruby restart
+// cannot remap — the outcome is pressured: returned to the caller (as a
+// FAILED row) but never memoized or written to the cell cache, because it
+// reflects the pressure of the moment, not the cell.
+func TestPressuredResultsNotMemoizedOrCached(t *testing.T) {
+	cfg := faultCfg()
+	c := rubyRestartCell()
+
+	// A 1-byte total with a 1-byte floor pins every tenant's limit at
+	// live+1, so the restart's remapping is denied.
+	ctrl := budget.New(1, budget.Policy{Floor: 1})
+	defer ctrl.Close()
+	r := NewRunner(cfg)
+	r.Budget = ctrl
+	cache, err := NewCellCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Cache = cache
+
+	got := r.Run(c)
+	if !got.Failed || !got.Pressured {
+		t.Fatalf("starved run: failed=%v pressured=%v; want a pressured FAILED row",
+			got.Failed, got.Pressured)
+	}
+	if ctrl.Denials() == 0 {
+		t.Error("controller recorded no denials")
+	}
+	if _, ok := cache.load(r.Cfg, c); ok {
+		t.Error("pressured result was written to the cell cache")
+	}
+	r.Run(c)
+	r.mu.Lock()
+	memo := r.memoHits
+	r.mu.Unlock()
+	if memo != 0 {
+		t.Error("pressured result was memoized")
+	}
+}
+
+// TestCellBudgetStaticKeyedAndDeterministic: a static Cell.Budget is part
+// of the cell identity (distinct key) and its outcome — including the
+// FAILED row below the allocator's memory floor — is deterministic and
+// memoizable.
+func TestCellBudgetStaticKeyedAndDeterministic(t *testing.T) {
+	cfg := faultCfg()
+	c := phpCell("xeon", "default", workload.PhpBB().Name, 1)
+	cb := c
+	cb.Budget = 1 * mem.MiB
+	if c.Key() == cb.Key() {
+		t.Fatalf("budgeted cell shares key %q with unbudgeted", c.Key())
+	}
+
+	// Above zend's memory floor: completes, with numbers identical to the
+	// unbudgeted run (the limit was never hit).
+	r := NewRunner(cfg)
+	fits := r.Run(cb)
+	if fits.Failed || fits.Pressured || fits.BudgetDenials != 0 {
+		t.Fatalf("1 MiB zend cell: %+v; want a clean completion", fits)
+	}
+	clean := NewRunner(cfg).Run(c)
+	if !reflect.DeepEqual(fits.Res, clean.Res) {
+		t.Error("unexercised budget changed the cell's numbers")
+	}
+
+	// Below the floor: construction cannot fit, a deterministic FAILED
+	// row — and, unlike pressured failures, it is memoized.
+	tiny := c
+	tiny.Budget = 256 * mem.KiB
+	tr := NewRunner(cfg)
+	if got := tr.Run(tiny); !got.Failed {
+		t.Fatal("zend cell built inside 256 KiB; expected a FAILED row")
+	}
+	tr.Run(tiny)
+	tr.mu.Lock()
+	memo := tr.memoHits
+	tr.mu.Unlock()
+	if memo != 1 {
+		t.Errorf("memoHits = %d; a static-budget FAILED row must be memoized", memo)
+	}
+}

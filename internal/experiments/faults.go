@@ -28,6 +28,14 @@ type FaultPlan struct {
 	// (0 = unlimited). Unlike OOMRate it is deterministic pressure: the
 	// heap that outgrows the budget fails, every time.
 	Budget uint64
+	// Squeeze, when > 0, shrinks every stream's budget to this factor of
+	// its footprint at the warmup→measure boundary — the dynamic analogue
+	// of Budget: the limit moves mid-run, the way a pressure controller
+	// moves it, instead of standing still. With a budget controller
+	// attached (Runner.Budget) the squeeze flows through the controller's
+	// rebalance path; otherwise it is applied directly to the address
+	// spaces. Factors < 1 force denials on the next arena map.
+	Squeeze float64
 	// CacheCorrupt makes the Runner write deliberately truncated cell-cache
 	// entries, exercising the cache's self-healing load path. It is the
 	// one fault that does not bypass the cache (corrupting a cache nobody
@@ -40,7 +48,7 @@ type FaultPlan struct {
 // never be stored where a clean run would load them, and cached clean
 // results would mask the injected faults.
 func (f FaultPlan) Active() bool {
-	return f.OOMRate > 0 || f.PanicRate > 0 || f.Budget > 0
+	return f.OOMRate > 0 || f.PanicRate > 0 || f.Budget > 0 || f.Squeeze > 0
 }
 
 // ParseFaults parses a -faults flag value: comma-separated directives
@@ -48,6 +56,7 @@ func (f FaultPlan) Active() bool {
 //	oom:RATE          inject mapping failures with probability RATE
 //	panic:RATE        inject simulation panics with probability RATE
 //	budget:SIZE       cap each stream's mapped bytes (e.g. 64MiB, 1GiB)
+//	squeeze:FACTOR    shrink budgets to FACTOR × footprint mid-run
 //	cachecorrupt      write corrupted cell-cache entries
 //
 // e.g. "oom:0.01,panic:0.1,budget:64MiB,cachecorrupt". An empty string is
@@ -79,11 +88,20 @@ func ParseFaults(s string) (FaultPlan, error) {
 			if !hasVal {
 				return f, fmt.Errorf("faults: budget needs a size, e.g. budget:64MiB")
 			}
-			n, err := parseSize(val)
+			n, err := ParseSize(val)
 			if err != nil {
-				return f, err
+				return f, fmt.Errorf("faults: %w", err)
 			}
 			f.Budget = n
+		case "squeeze":
+			if !hasVal {
+				return f, fmt.Errorf("faults: squeeze needs a factor, e.g. squeeze:0.5")
+			}
+			factor, err := strconv.ParseFloat(val, 64)
+			if err != nil || factor <= 0 {
+				return f, fmt.Errorf("faults: bad factor %q for squeeze (want > 0)", val)
+			}
+			f.Squeeze = factor
 		case "cachecorrupt":
 			if hasVal {
 				return f, fmt.Errorf("faults: cachecorrupt takes no value")
@@ -92,15 +110,16 @@ func ParseFaults(s string) (FaultPlan, error) {
 		case "":
 			return f, fmt.Errorf("faults: empty directive in %q", s)
 		default:
-			return f, fmt.Errorf("faults: unknown directive %q (want oom, panic, budget, cachecorrupt)", key)
+			return f, fmt.Errorf("faults: unknown directive %q (want oom, panic, budget, squeeze, cachecorrupt)", key)
 		}
 	}
 	return f, nil
 }
 
-// parseSize parses a byte size with an optional KiB/MiB/GiB (or K/M/G)
-// suffix.
-func parseSize(s string) (uint64, error) {
+// ParseSize parses a byte size with an optional KiB/MiB/GiB (or K/M/G)
+// suffix, as written in -faults budget: directives and the CLI's budget
+// flags.
+func ParseSize(s string) (uint64, error) {
 	mult := uint64(1)
 	for _, suf := range []struct {
 		name string
@@ -116,7 +135,7 @@ func parseSize(s string) (uint64, error) {
 	}
 	n, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
 	if err != nil {
-		return 0, fmt.Errorf("faults: bad size %q", s)
+		return 0, fmt.Errorf("bad size %q (want e.g. 64MiB, 2G, 4096)", s)
 	}
 	return n * mult, nil
 }

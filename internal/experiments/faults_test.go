@@ -27,8 +27,9 @@ func TestParseFaults(t *testing.T) {
 		{"budget:2G", FaultPlan{Budget: 2 * mem.GiB}},
 		{"budget:4096", FaultPlan{Budget: 4096}},
 		{"cachecorrupt", FaultPlan{CacheCorrupt: true}},
-		{"oom:0.5, panic:0.25, budget:1KiB, cachecorrupt",
-			FaultPlan{OOMRate: 0.5, PanicRate: 0.25, Budget: mem.KiB, CacheCorrupt: true}},
+		{"squeeze:0.5", FaultPlan{Squeeze: 0.5}},
+		{"oom:0.5, panic:0.25, budget:1KiB, squeeze:0.75, cachecorrupt",
+			FaultPlan{OOMRate: 0.5, PanicRate: 0.25, Budget: mem.KiB, Squeeze: 0.75, CacheCorrupt: true}},
 	}
 	for _, tc := range cases {
 		got, err := ParseFaults(tc.in)
@@ -37,7 +38,8 @@ func TestParseFaults(t *testing.T) {
 		}
 	}
 	for _, bad := range []string{"oom", "oom:2", "oom:x", "panic:-1", "budget:",
-		"budget:12.5MiB", "cachecorrupt:yes", "frobnicate:1", "oom:0.1,,panic:0.1"} {
+		"budget:12.5MiB", "cachecorrupt:yes", "frobnicate:1", "oom:0.1,,panic:0.1",
+		"squeeze", "squeeze:0", "squeeze:-1", "squeeze:x"} {
 		if _, err := ParseFaults(bad); err == nil {
 			t.Errorf("ParseFaults(%q) accepted invalid input", bad)
 		}
@@ -45,8 +47,9 @@ func TestParseFaults(t *testing.T) {
 	if (FaultPlan{CacheCorrupt: true}).Active() {
 		t.Error("CacheCorrupt alone must not bypass the cache (Active)")
 	}
-	if !(FaultPlan{OOMRate: 0.01}).Active() || !(FaultPlan{Budget: 1}).Active() {
-		t.Error("oom/budget plans must be Active")
+	if !(FaultPlan{OOMRate: 0.01}).Active() || !(FaultPlan{Budget: 1}).Active() ||
+		!(FaultPlan{Squeeze: 0.5}).Active() {
+		t.Error("oom/budget/squeeze plans must be Active")
 	}
 }
 

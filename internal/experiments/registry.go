@@ -34,6 +34,12 @@ type Descriptor struct {
 	Cells func(r *Runner) []Cell
 	// Run simulates (via the memoizing Runner) and renders.
 	Run func(r *Runner) Output
+	// Extra marks an extension beyond the paper's evaluation. "all" skips
+	// extras — partly so the paper's reporting output stays byte-identical
+	// across versions, partly because an extra may fail cells by design
+	// (the heap-limit sweep's below-floor FAILED rows would turn every
+	// "all" run into exit status 1). Extras run when named explicitly.
+	Extra bool
 }
 
 func tables(ts ...*report.Table) Output { return Output{Tables: ts} }
@@ -151,6 +157,18 @@ var registry = []Descriptor{
 		Cells:   (*Runner).Fig12Cells,
 		Run:     func(r *Runner) Output { return tables(Fig12Table(Fig12(r))) },
 	},
+	{
+		Name: "heaplimit", Ref: "Extension", Extra: true,
+		Doc:     "throughput vs per-stream heap limit for the PHP allocators; FAILED rows mark each allocator's memory floor",
+		Example: "webmm -exp heaplimit -scale 8",
+		Cells:   (*Runner).HeapLimitCells,
+		Run: func(r *Runner) Output {
+			entries := HeapLimit(r)
+			out := tables(HeapLimitTable(entries))
+			out.Charts = append(out.Charts, HeapLimitChart(entries))
+			return out
+		},
+	},
 }
 
 // Experiments returns the experiment descriptors in the paper's reporting
@@ -181,6 +199,18 @@ func ExperimentNames() []string {
 	return out
 }
 
+// PaperExperimentNames lists the experiments of the paper's evaluation —
+// what "all" runs — excluding extensions (Descriptor.Extra).
+func PaperExperimentNames() []string {
+	var out []string
+	for _, d := range registry {
+		if !d.Extra {
+			out = append(out, d.Name)
+		}
+	}
+	return out
+}
+
 // CellsFor returns the cell plan of the named experiment, or nil for
 // experiments that simulate nothing (table2) and unknown names. "all"
 // returns the union of every plan (duplicates included; RunAll dedups).
@@ -188,7 +218,7 @@ func (r *Runner) CellsFor(name string) []Cell {
 	if name == "all" {
 		var out []Cell
 		for _, d := range registry {
-			if d.Cells != nil {
+			if d.Cells != nil && !d.Extra {
 				out = append(out, d.Cells(r)...)
 			}
 		}
@@ -222,7 +252,7 @@ func UsageExperiments() string {
 	for _, d := range registry {
 		fmt.Fprintf(&b, "  %-7s %s: %s\n", d.Name, d.Ref, d.Doc)
 	}
-	b.WriteString("  all     every experiment above, in order\n")
+	b.WriteString("  all     every paper experiment above, in order (extensions run by name)\n")
 	b.WriteString("  cell    one (platform, allocator, workload, cores) cell; see -platform/-alloc/-workload/-cores\n")
 	return b.String()
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"webmm/internal/apprt"
+	"webmm/internal/budget"
 	"webmm/internal/heap"
 	"webmm/internal/machine"
 	"webmm/internal/mem"
@@ -118,6 +119,13 @@ type Cell struct {
 	// Ruby study extras.
 	Ruby         bool
 	RestartEvery int
+	// Budget caps each stream's mapped bytes for this cell (0 =
+	// unlimited). Unlike a controller-pushed limit it is static, so the
+	// cell's outcome — including its bailouts and FAILED status — is
+	// deterministic and cacheable; the heap-limit sweep is built on it.
+	// omitempty keeps fingerprints of unbudgeted cells byte-identical to
+	// builds that predate the field.
+	Budget uint64 `json:",omitempty"`
 }
 
 // CellResult bundles everything an experiment needs from one run.
@@ -138,6 +146,18 @@ type CellResult struct {
 	// omitempty keeps fault-free cache entries and fingerprints
 	// byte-identical to builds that predate the field.
 	Failed bool `json:",omitempty"`
+	// BudgetDenials counts TryMap calls refused by a budget (static
+	// Cell.Budget, a -faults budget/squeeze, or a controller-pushed
+	// limit) across the cell's streams. Zero for unconstrained cells, so
+	// omitempty preserves their fingerprints.
+	BudgetDenials uint64 `json:",omitempty"`
+	// Pressured marks a result perturbed by *dynamic* budget pressure: a
+	// live controller (Runner.Budget) denied at least one mapping while
+	// the cell ran. Such results depend on what else was running, so —
+	// like cancelled cells — they are never memoized or written to the
+	// cell cache. Cells the controller left alone are bit-identical to
+	// unconstrained runs and cache as usual.
+	Pressured bool `json:",omitempty"`
 }
 
 // CellError describes one cell whose simulation failed. The runner isolates
@@ -148,6 +168,11 @@ type CellError struct {
 	Err      error  // the panic (wrapped), timeout, or configuration error
 	Stack    []byte // goroutine stack at the point of a recovered panic
 	Attempts int    // how many times the cell was tried
+	// Pressured marks a failure that happened while a budget controller
+	// was denying the cell's mappings (e.g. a Ruby restart that could not
+	// remap under a shrunken limit). Like cancellation it is
+	// environmental: the failed result is reported but not memoized.
+	Pressured bool
 }
 
 func (e *CellError) Error() string {
@@ -179,6 +204,12 @@ type Runner struct {
 	// Faults configures deterministic fault injection (see FaultPlan).
 	// Set before the first Run; an Active plan bypasses the cell cache.
 	Faults FaultPlan
+	// Budget, when non-nil, admits every simulated cell to a shared
+	// budget.Controller: the cell's streams get controller-pushed limits
+	// and feed its allocation-rate estimates while they run. Results the
+	// controller perturbed come back Pressured (see CellResult) and are
+	// not memoized or cached. Set before the first Run.
+	Budget *budget.Controller
 	// Timeout bounds each cell attempt's simulation wall time (0 =
 	// unbounded). Cancellation is cooperative: the simulation loops poll
 	// their context between pricing rounds and phases (sim.Checkpoint),
@@ -330,7 +361,7 @@ func (r *Runner) lead(ctx context.Context, c Cell, fl *inflightCell) CellResult 
 	if !cached {
 		res, cerr := r.runCell(ctx, c, span)
 		if cerr != nil {
-			out = CellResult{Cell: c, Failed: true}
+			out = CellResult{Cell: c, Failed: true, Pressured: cerr.Pressured}
 			attempts = cerr.Attempts
 			cancelled = errors.Is(cerr.Err, context.Canceled) ||
 				errors.Is(cerr.Err, context.DeadlineExceeded)
@@ -339,7 +370,10 @@ func (r *Runner) lead(ctx context.Context, c Cell, fl *inflightCell) CellResult 
 			r.mu.Unlock()
 		} else {
 			out = res
-			if useCache {
+			// A Pressured result reflects what the budget controller did
+			// to this particular run, not the cell itself, so it must not
+			// poison the cache.
+			if useCache && !out.Pressured {
 				if r.Faults.CacheCorrupt {
 					r.Cache.storeCorrupt(r.Cfg, c)
 				} else {
@@ -353,9 +387,10 @@ func (r *Runner) lead(ctx context.Context, c Cell, fl *inflightCell) CellResult 
 	fl.res = out
 	fl.cancelled = cancelled
 	r.mu.Lock()
-	if !cancelled {
-		// A cancelled or timed-out cell is not memoized: the next caller
-		// with a live context gets a fresh simulation.
+	if !cancelled && !out.Pressured {
+		// A cancelled, timed-out, or pressure-perturbed cell is not
+		// memoized: the next caller gets a fresh simulation (and, under a
+		// controller, a fresh chance at an unconstrained run).
 		r.cells[c] = out
 		r.accounts[c] = cellAccount{wallMS: float64(wall.Nanoseconds()) / 1e6, cached: cached}
 	}
@@ -380,6 +415,10 @@ func (r *Runner) lead(ctx context.Context, c Cell, fl *inflightCell) CellResult 
 		met.Counter("webmm_cells_total", "cells resolved (simulated, cached, or failed)", nil).Inc()
 		if out.Failed {
 			met.Counter("webmm_cells_failed_total", "cells whose simulation failed", nil).Inc()
+		}
+		if out.Pressured {
+			met.Counter("webmm_cells_pressured_total",
+				"cells perturbed by budget-controller denials (not memoized or cached)", nil).Inc()
 		}
 		if useCache && r.Cache != nil {
 			if cached {
@@ -421,6 +460,9 @@ func cellKey(c Cell) string {
 	k := fmt.Sprintf("%s/%s/%s/%d", c.Platform, c.Alloc, c.Workload, c.Cores)
 	if c.Ruby {
 		k += fmt.Sprintf("/ruby:%d", c.RestartEvery)
+	}
+	if c.Budget > 0 {
+		k += fmt.Sprintf("/budget:%d", c.Budget)
 	}
 	return k
 }
@@ -564,22 +606,23 @@ func (r *Runner) BuildManifest(experiments []string) *telemetry.Manifest {
 func (r *Runner) runCell(ctx context.Context, c Cell, span *telemetry.Span) (CellResult, *CellError) {
 	var lastErr error
 	var stack []byte
+	var pressured bool
 	for attempt := 0; attempt < 2; attempt++ {
 		if err := ctx.Err(); err != nil {
-			return CellResult{}, &CellError{Cell: c, Err: err, Attempts: attempt + 1}
+			return CellResult{}, &CellError{Cell: c, Err: err, Attempts: attempt + 1, Pressured: pressured}
 		}
-		out, err := r.simulateGuarded(ctx, c, attempt, span)
+		out, err := r.simulateGuarded(ctx, c, attempt, span, &pressured)
 		if err == nil {
 			return out, nil
 		}
 		lastErr, stack = err, nil
 		var pe *panicError
 		if !errors.As(err, &pe) {
-			return CellResult{}, &CellError{Cell: c, Err: err, Attempts: attempt + 1}
+			return CellResult{}, &CellError{Cell: c, Err: err, Attempts: attempt + 1, Pressured: pressured}
 		}
 		stack = pe.stack
 	}
-	return CellResult{}, &CellError{Cell: c, Err: lastErr, Stack: stack, Attempts: 2}
+	return CellResult{}, &CellError{Cell: c, Err: lastErr, Stack: stack, Attempts: 2, Pressured: pressured}
 }
 
 // simulateGuarded runs one simulate attempt with panics recovered into
@@ -588,7 +631,7 @@ func (r *Runner) runCell(ctx context.Context, c Cell, span *telemetry.Span) (Cel
 // between phases and pricing rounds and returns on its own goroutine — so
 // there is no watchdog and nothing to abandon: when simulateGuarded
 // returns, no simulation work for the cell is running anywhere.
-func (r *Runner) simulateGuarded(ctx context.Context, c Cell, attempt int, span *telemetry.Span) (out CellResult, err error) {
+func (r *Runner) simulateGuarded(ctx context.Context, c Cell, attempt int, span *telemetry.Span, pressured *bool) (out CellResult, err error) {
 	if r.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, r.Timeout)
@@ -602,7 +645,7 @@ func (r *Runner) simulateGuarded(ctx context.Context, c Cell, attempt int, span 
 			err = fmt.Errorf("simulation exceeded timeout %v: %w", r.Timeout, err)
 		}
 	}()
-	return r.simulate(ctx, c, attempt, span)
+	return r.simulate(ctx, c, attempt, span, pressured)
 }
 
 // ctxErr is a deadline-aware ctx.Err: context.WithTimeout only reports an
@@ -705,7 +748,7 @@ func (r *Runner) RunAll(cells []Cell, jobs int) []CellResult {
 // pricing rounds inside Machine.RunContext. Every checkpoint ends the
 // phase span it is in before returning, so a cancelled cell's trace is
 // still well formed.
-func (r *Runner) simulate(ctx context.Context, c Cell, attempt int, span *telemetry.Span) (CellResult, error) {
+func (r *Runner) simulate(ctx context.Context, c Cell, attempt int, span *telemetry.Span, pressured *bool) (CellResult, error) {
 	if err := ctxErr(ctx); err != nil {
 		return CellResult{}, err
 	}
@@ -743,6 +786,18 @@ func (r *Runner) simulate(ctx context.Context, c Cell, attempt int, span *teleme
 	m := machine.New(plat, c.Cores, allocCode, appCode, r.Cfg.Seed)
 	r.attachTelemetry(m, plat, span)
 
+	// A static Cell.Budget arms before construction: it models the total
+	// memory the tenant was given, so an allocator whose footprint cannot
+	// fit it fails to build (a deterministic FAILED row — the heap-limit
+	// sweep's cliff), and one that fits keeps the cap for its steady-state
+	// map traffic. Fault budgets (below) stay post-construction: they are
+	// steady-state perturbations, not sizing.
+	if c.Budget > 0 {
+		for _, s := range m.Streams() {
+			s.Env.AS.SetBudget(c.Budget)
+		}
+	}
+
 	largePages := plat.Name == "niagara" || (plat.Name == "xeon" && r.Cfg.XeonLargePages)
 	drivers := make([]machine.Driver, m.NumStreams())
 	fps := make([]footprinter, m.NumStreams())
@@ -774,10 +829,14 @@ func (r *Runner) simulate(ctx context.Context, c Cell, attempt int, span *teleme
 			drivers[i], fps[i], gens[i] = rt, rt, rt.Generator()
 		}
 	}
-	// Arm fault injection after construction so injected OOM lands on the
-	// steady-state Map paths the runtimes' bail-out machinery handles
-	// (construction failure is a panic, isolated one level up). The
-	// injector RNGs are the streams' own, seeded apart from all
+	spaces := make([]*mem.AddressSpace, m.NumStreams())
+	for i, s := range m.Streams() {
+		spaces[i] = s.Env.AS
+	}
+	// Arm fault injection after construction so denials and injected OOM
+	// land on the steady-state Map paths the runtimes' bail-out machinery
+	// handles (construction failure is a panic, isolated one level up).
+	// The injector RNGs are the streams' own, seeded apart from all
 	// simulation randomness, so an empty plan changes nothing.
 	if r.Faults.OOMRate > 0 || r.Faults.Budget > 0 {
 		for i, s := range m.Streams() {
@@ -796,6 +855,32 @@ func (r *Runner) simulate(ctx context.Context, c Cell, attempt int, span *teleme
 						"deterministic fault injections by kind", telemetry.Labels{"kind": "oom"}).Inc()
 					return true
 				})
+			}
+		}
+	}
+	// Admit the cell to the budget controller (if any) once it exists:
+	// from here on the controller samples its footprint, estimates its
+	// allocation rate through the lease's profile, and retargets the
+	// streams' budgets mid-run. Controller-pushed limits override any
+	// static budget armed above — an admitted tenant is governed.
+	var lease *budget.Lease
+	if r.Budget != nil {
+		lease = r.Budget.Admit(cellKey(c), spaces)
+		defer func() {
+			// Read the denial tally before releasing so a panic that
+			// unwinds through here (a restart that could not remap under
+			// a shrunken limit) is still attributed to pressure — the
+			// resulting FAILED row must not be memoized.
+			if lease.Denials() > 0 {
+				*pressured = true
+			}
+			lease.Release()
+		}()
+		for _, s := range m.Streams() {
+			if prev := s.Env.AllocRec; prev != nil {
+				s.Env.AllocRec = teeRecorder{prev, lease}
+			} else {
+				s.Env.AllocRec = lease
 			}
 		}
 	}
@@ -819,6 +904,21 @@ func (r *Runner) simulate(ctx context.Context, c Cell, attempt int, span *teleme
 	warm.End()
 	if err != nil {
 		return CellResult{}, err
+	}
+	// The squeeze fault fires at the warmup→measure boundary: budgets
+	// shrink to a factor of the footprint the warm cell actually reached,
+	// so the measured phase runs under moving pressure. Through the
+	// controller when one governs the cell; directly otherwise — the
+	// direct path reads only the spaces' own state, so it is as
+	// deterministic as a static budget.
+	if f := r.Faults.Squeeze; f > 0 {
+		r.Tel.Metrics().Counter("webmm_faults_injected_total",
+			"deterministic fault injections by kind", telemetry.Labels{"kind": "squeeze"}).Inc()
+		if lease != nil {
+			lease.Squeeze(f)
+		} else {
+			budget.SqueezeSpaces(spaces, f)
+		}
 	}
 	for _, fp := range fps {
 		fp.ResetFootprint()
@@ -860,7 +960,23 @@ func (r *Runner) simulate(ctx context.Context, c Cell, attempt int, span *teleme
 	out.Footprint = fpSum / float64(len(fps))
 	out.Calls = calls
 	out.TxnsPerStream = float64(res.Txns) / float64(len(fps))
+	for _, as := range spaces {
+		out.BudgetDenials += as.BudgetDenials()
+	}
+	// Only a live controller makes a result pressure-dependent; static
+	// budget denials (Cell.Budget, -faults budget/squeeze without a
+	// controller) are deterministic properties of the cell.
+	out.Pressured = lease != nil && lease.Denials() > 0
 	return out, nil
+}
+
+// teeRecorder fans one stream's allocation-size reports out to both the
+// telemetry profile and the budget lease.
+type teeRecorder struct{ a, b sim.AllocRecorder }
+
+func (t teeRecorder) RecordAlloc(size uint64) {
+	t.a.RecordAlloc(size)
+	t.b.RecordAlloc(size)
 }
 
 // PHPAllocators are the three allocators of the PHP study, in the paper's

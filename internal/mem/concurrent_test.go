@@ -1,0 +1,103 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSetBudgetVsTryMap pins the address space's concurrency
+// contract: one owner goroutine maps and unmaps while a controller
+// goroutine retargets the budget and samples the footprint. Run under
+// -race (CI does), this fails on any unsynchronized access to the budget
+// control plane; without -race it still checks that every TryMap outcome
+// is coherent (a denial only ever reports a nonzero budget).
+func TestConcurrentSetBudgetVsTryMap(t *testing.T) {
+	as := NewAddressSpace(0, 1<<40, LargePageShiftXeon)
+
+	const iters = 20000
+	var wg sync.WaitGroup
+	wg.Add(2)
+
+	// Controller: sweep the budget up and down, including "unlimited",
+	// while reading the sampling surface.
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			switch i % 4 {
+			case 0:
+				as.SetBudget(64 * KiB)
+			case 1:
+				as.SetBudget(16 * MiB)
+			case 2:
+				as.SetBudget(0)
+			case 3:
+				as.SetBudget(as.Mapped() / 2)
+			}
+			_ = as.Budget()
+			_ = as.Mapped()
+			_ = as.HighWater()
+			_ = as.BudgetDenials()
+		}
+	}()
+
+	// Owner: the usual allocator pattern — map arenas, free some of them.
+	go func() {
+		defer wg.Done()
+		var live []Mapping
+		for i := 0; i < iters; i++ {
+			m, err := as.TryMap(64*KiB, 0, SmallPages)
+			if err == nil {
+				live = append(live, m)
+			} else if oom, ok := err.(*OOMError); !ok || oom.Budget == 0 && !oom.Injected {
+				// A budget denial must carry the budget that refused it;
+				// the span is far too large to exhaust here.
+				t.Errorf("TryMap failed without a budget: %v", err)
+				return
+			}
+			if len(live) > 32 {
+				as.Unmap(live[0])
+				live = live[1:]
+			}
+		}
+	}()
+	wg.Wait()
+
+	if as.Mapped() > as.HighWater() {
+		t.Errorf("mapped %d exceeds high water %d", as.Mapped(), as.HighWater())
+	}
+}
+
+// TestBudgetDenialsCount pins the denial counter: exactly the TryMap calls
+// the budget refuses are counted — injected faults and successes are not.
+func TestBudgetDenialsCount(t *testing.T) {
+	as := NewAddressSpace(0, 1<<40, LargePageShiftXeon)
+	as.SetBudget(8 * KiB)
+
+	if _, err := as.TryMap(4*KiB, 0, SmallPages); err != nil {
+		t.Fatalf("first map under budget failed: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := as.TryMap(8*KiB, 0, SmallPages); err == nil {
+			t.Fatal("map beyond budget succeeded")
+		}
+	}
+	if got := as.BudgetDenials(); got != 3 {
+		t.Errorf("BudgetDenials = %d, want 3", got)
+	}
+
+	// An injected failure is not a budget denial.
+	as.SetFaultInjector(func(uint64) bool { return true })
+	if _, err := as.TryMap(1*KiB, 0, SmallPages); err == nil {
+		t.Fatal("injected map succeeded")
+	}
+	as.SetFaultInjector(nil)
+	if got := as.BudgetDenials(); got != 3 {
+		t.Errorf("BudgetDenials after injected fault = %d, want 3", got)
+	}
+
+	// Lifting the budget mid-stream is observed by the very next call.
+	as.SetBudget(0)
+	if _, err := as.TryMap(64*MiB, 0, SmallPages); err != nil {
+		t.Fatalf("map after lifting budget failed: %v", err)
+	}
+}

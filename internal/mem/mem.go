@@ -18,6 +18,7 @@ package mem
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Addr is a simulated virtual address. Address 0 is the null pointer and is
@@ -71,18 +72,29 @@ func (m Mapping) Contains(a Addr) bool { return a >= m.Base && a < m.End() }
 // region of the simulated 64-bit address space. It is the model of the
 // operating system's mmap underneath every allocator.
 //
-// An AddressSpace is not safe for concurrent use; the simulator is
-// single-threaded by design so that runs are reproducible.
+// Concurrency contract: mapping operations (Map/TryMap/Unmap/PageShift and
+// friends) belong to one owner goroutine — the simulator is single-threaded
+// by design so that runs are reproducible. The budget, however, is a control
+// plane: SetBudget, Budget, Mapped, HighWater and BudgetDenials are safe to
+// call from other goroutines concurrently with the owner, which is how the
+// adaptive budget controller (internal/budget) retargets a running cell's
+// limit mid-flight. Every TryMap re-reads the budget, so an allocator
+// crossing an arena-map boundary observes the latest limit.
 type AddressSpace struct {
 	base       Addr
 	next       Addr
 	limit      Addr
 	largeShift uint8 // page shift used for LargePages mappings
 
-	mapped    uint64 // bytes currently mapped
-	highWater uint64 // peak of mapped
+	mapped    atomic.Uint64 // bytes currently mapped
+	highWater atomic.Uint64 // peak of mapped
 	mapCalls  uint64
 	unmaps    uint64
+
+	// denials counts TryMap failures caused by the byte budget (injected
+	// faults and span exhaustion are not denials). The adaptive controller
+	// and the heap-limit sweep read it to report OOM pressure per process.
+	denials atomic.Uint64
 
 	// large holds LargePages mappings sorted by base so PageShift can
 	// find the page size of an address with a binary search. Small-page
@@ -96,8 +108,9 @@ type AddressSpace struct {
 	// budget, when nonzero, caps the bytes that may be simultaneously
 	// mapped: TryMap fails (and Map panics) once mapped+size would exceed
 	// it. This models an OS memory limit (ulimit/cgroup) independent of
-	// the address-space span.
-	budget uint64
+	// the address-space span. Atomic so a budget controller can retarget
+	// it while the owner goroutine maps.
+	budget atomic.Uint64
 
 	// inject, when non-nil, is consulted by TryMap before anything else;
 	// returning true fails the call with an injected OOM. Fault-injection
@@ -177,22 +190,27 @@ func (as *AddressSpace) TryMap(size, align uint64, kind PageKind) (Mapping, erro
 	}
 	size = roundUp(size, pageSize)
 
+	mapped := as.mapped.Load()
 	if as.inject != nil && as.inject(size) {
-		return Mapping{}, &OOMError{Need: size, Budget: as.budget, Mapped: as.mapped, Injected: true}
+		return Mapping{}, &OOMError{Need: size, Budget: as.budget.Load(), Mapped: mapped, Injected: true}
 	}
-	if as.budget > 0 && as.mapped+size > as.budget {
-		return Mapping{}, &OOMError{Need: size, Budget: as.budget, Mapped: as.mapped}
+	// The budget is re-read on every call: an allocator crossing an
+	// arena-map boundary observes limits the controller shrank (or grew)
+	// since its previous mapping.
+	if budget := as.budget.Load(); budget > 0 && mapped+size > budget {
+		as.denials.Add(1)
+		return Mapping{}, &OOMError{Need: size, Budget: budget, Mapped: mapped}
 	}
 	base := Addr(roundUp(uint64(as.next), align))
 	end := base + Addr(size)
 	if end > as.limit {
-		return Mapping{}, &OOMError{Need: size, Budget: as.budget, Mapped: as.mapped}
+		return Mapping{}, &OOMError{Need: size, Budget: as.budget.Load(), Mapped: mapped}
 	}
 	as.next = end
-	as.mapped += size
+	mapped = as.mapped.Add(size)
 	as.mapCalls++
-	if as.mapped > as.highWater {
-		as.highWater = as.mapped
+	if mapped > as.highWater.Load() {
+		as.highWater.Store(mapped)
 	}
 	m := Mapping{Base: base, Size: size, Kind: kind}
 	if kind == LargePages {
@@ -204,11 +222,19 @@ func (as *AddressSpace) TryMap(size, align uint64, kind PageKind) (Mapping, erro
 
 // SetBudget caps the bytes that may be simultaneously mapped (0 removes
 // the cap). Takes effect on the next TryMap/Map call; already-mapped bytes
-// are kept even if they exceed the new budget.
-func (as *AddressSpace) SetBudget(bytes uint64) { as.budget = bytes }
+// are kept even if they exceed the new budget. Safe to call concurrently
+// with the owner goroutine's mapping operations — this is the knob the
+// adaptive budget controller turns mid-run.
+func (as *AddressSpace) SetBudget(bytes uint64) { as.budget.Store(bytes) }
 
-// Budget returns the configured byte budget (0 = unlimited).
-func (as *AddressSpace) Budget() uint64 { return as.budget }
+// Budget returns the configured byte budget (0 = unlimited). Safe for
+// concurrent use.
+func (as *AddressSpace) Budget() uint64 { return as.budget.Load() }
+
+// BudgetDenials returns how many TryMap calls the byte budget has refused
+// (injected faults and span exhaustion are not counted). Safe for
+// concurrent use.
+func (as *AddressSpace) BudgetDenials() uint64 { return as.denials.Load() }
 
 // SetFaultInjector installs a hook consulted on every TryMap/Map with the
 // page-rounded request size; returning true fails the call with an
@@ -219,10 +245,10 @@ func (as *AddressSpace) SetFaultInjector(f func(size uint64) bool) { as.inject =
 // address range is never recycled (see Map), so a dangling simulated pointer
 // stays detectably invalid.
 func (as *AddressSpace) Unmap(m Mapping) {
-	if m.Size > as.mapped {
+	if m.Size > as.mapped.Load() {
 		panic("mem: Unmap of more bytes than are mapped")
 	}
-	as.mapped -= m.Size
+	as.mapped.Add(^(m.Size - 1)) // atomic subtract
 	as.unmaps++
 	if m.Kind == LargePages {
 		for i := range as.large {
@@ -276,11 +302,13 @@ func (as *AddressSpace) LargeEpoch() uint64 { return as.largeEpoch }
 // LargePageShift returns the platform's large-page shift.
 func (as *AddressSpace) LargePageShift() uint8 { return as.largeShift }
 
-// Mapped returns the bytes currently mapped.
-func (as *AddressSpace) Mapped() uint64 { return as.mapped }
+// Mapped returns the bytes currently mapped. Safe for concurrent use (the
+// budget controller samples it while the owner maps).
+func (as *AddressSpace) Mapped() uint64 { return as.mapped.Load() }
 
-// HighWater returns the peak number of simultaneously mapped bytes.
-func (as *AddressSpace) HighWater() uint64 { return as.highWater }
+// HighWater returns the peak number of simultaneously mapped bytes. Safe
+// for concurrent use.
+func (as *AddressSpace) HighWater() uint64 { return as.highWater.Load() }
 
 // MapCalls returns how many Map calls have been served (the paper counts
 // system calls to obtain chunks; the region allocator's 256 MB chunks make

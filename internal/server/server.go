@@ -19,14 +19,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"webmm/internal/apprt"
+	"webmm/internal/budget"
 	"webmm/internal/experiments"
 	"webmm/internal/machine"
 	"webmm/internal/telemetry"
@@ -65,6 +68,16 @@ type Config struct {
 	// Tel is the telemetry session backing /metrics. nil means a live
 	// in-memory session (telemetry.NewLive).
 	Tel *telemetry.Telemetry
+	// GlobalBudget, when > 0, caps the total bytes the server's concurrent
+	// cells may hold mapped. A MemBalancer-style controller apportions it
+	// across running cells by allocation rate (see internal/budget) and the
+	// admission path degrades gracefully as utilization climbs: new work is
+	// forced to sampled fidelity, then queued with a computed Retry-After,
+	// then shed with 429. 0 means unlimited (no controller).
+	GlobalBudget uint64
+	// Pressure tunes the controller's thresholds and cadence; zero fields
+	// take the budget.Policy defaults. Ignored without GlobalBudget.
+	Pressure budget.Policy
 }
 
 // runnerKey identifies one shared Runner. Runners memoize per fixed
@@ -80,9 +93,10 @@ type runnerKey struct {
 // ListenAndServe (which drains on context cancellation) or mount Handler
 // on an existing mux; Close drains the worker pool.
 type Server struct {
-	cfg   Config
-	cache *experiments.CellCache
-	tel   *telemetry.Telemetry
+	cfg    Config
+	cache  *experiments.CellCache
+	tel    *telemetry.Telemetry
+	budget *budget.Controller // nil without Config.GlobalBudget
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -153,6 +167,11 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.cache = cc
 	}
+	if cfg.GlobalBudget > 0 {
+		s.budget = budget.New(cfg.GlobalBudget, cfg.Pressure)
+		s.budget.PublishTo(s.tel.Metrics())
+		s.budget.Start()
+	}
 	s.wg.Add(cfg.Jobs)
 	for i := 0; i < cfg.Jobs; i++ {
 		go s.worker()
@@ -176,7 +195,8 @@ func canonFidelity(name string) (string, error) {
 }
 
 // Close drains the worker pool: no new jobs are admitted, queued and
-// running jobs finish, and the workers exit. Idempotent.
+// running jobs finish, the workers exit, and the budget controller (if any)
+// stops. Idempotent.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if !s.closed {
@@ -185,6 +205,9 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.budget != nil {
+		s.budget.Close()
+	}
 }
 
 // runnerFor returns (creating on first use) the shared runner for one
@@ -204,6 +227,7 @@ func (s *Server) runnerFor(k runnerKey) (*experiments.Runner, error) {
 	r.Tel = s.tel
 	r.Faults = plan
 	r.Timeout = k.timeout
+	r.Budget = s.budget
 	s.runners[k] = r
 	return r, nil
 }
@@ -479,6 +503,41 @@ func (s *Server) buildJob(ctx context.Context, req runRequest) (*job, error) {
 	return j, nil
 }
 
+// pressureLevel is the current rung of the admission ladder; Nominal
+// without a budget controller.
+func (s *Server) pressureLevel() budget.Level {
+	if s.budget == nil {
+		return budget.Nominal
+	}
+	return s.budget.Level()
+}
+
+// retryAfterSeconds estimates when a turned-away client should come back:
+// the work ahead of it (the queued jobs plus its own) times the observed
+// median cell wall time, clamped to [1s, 300s]. Before the first cell
+// resolves the histogram is empty and the estimate is the 1-second floor.
+func (s *Server) retryAfterSeconds() int {
+	p50 := s.tel.Metrics().Histogram("webmm_cell_seconds", "wall time per resolved cell",
+		[]float64{0.001, 0.01, 0.1, 1, 10, 60, 600}, nil).Quantile(0.5)
+	wait := int(math.Ceil(float64(len(s.queue)+1) * p50))
+	if wait < 1 {
+		wait = 1
+	}
+	if wait > 300 {
+		wait = 300
+	}
+	return wait
+}
+
+// rejectPressure turns a request away with the computed Retry-After.
+func (s *Server) rejectPressure(w http.ResponseWriter, code int, msg string) {
+	s.rejected.Add(1)
+	s.tel.Metrics().Counter("webmm_server_rejected_total",
+		"requests rejected because of queue or memory pressure", nil).Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	httpError(w, code, msg)
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
@@ -491,17 +550,42 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
+
+	// The admission ladder (budget.Level): under memory pressure the server
+	// degrades before it drops. Degrade forces new work to the cheaper
+	// sampled fidelity; Queue stops growing the in-flight set (work is
+	// admitted only when a worker can take it now); Shed refuses outright.
+	// Each rung keeps /healthz green — pressure never kills the process.
+	level := s.pressureLevel()
+	if level >= budget.Shed {
+		s.tel.Metrics().Counter("webmm_server_shed_total",
+			"requests refused because global memory pressure reached the shed threshold", nil).Inc()
+		s.rejectPressure(w, http.StatusTooManyRequests,
+			fmt.Sprintf("shedding load: memory pressure %.2f; retry later", s.budget.Pressure()))
+		return
+	}
+	if level >= budget.Queue && (len(s.queue) > 0 || s.inflight.Load() >= int64(s.cfg.Jobs)) {
+		s.tel.Metrics().Counter("webmm_server_pressure_queued_total",
+			"requests turned away at the queue pressure level (no idle worker)", nil).Inc()
+		s.rejectPressure(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("memory pressure %.2f: not queueing new work; retry later", s.budget.Pressure()))
+		return
+	}
+	degraded := false
+	if level >= budget.Degrade && req.Fidelity != experiments.FidelitySampled {
+		req.Fidelity = experiments.FidelitySampled
+		degraded = true
+		s.tel.Metrics().Counter("webmm_server_degraded_total",
+			"requests forced to sampled fidelity by memory pressure", nil).Inc()
+	}
+
 	j, err := s.buildJob(r.Context(), req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if !s.enqueue(j) {
-		s.rejected.Add(1)
-		s.tel.Metrics().Counter("webmm_server_rejected_total",
-			"requests rejected with 429 because the admission queue was full", nil).Inc()
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, "admission queue full; retry later")
+		s.rejectPressure(w, http.StatusTooManyRequests, "admission queue full; retry later")
 		return
 	}
 	s.accepted.Add(1)
@@ -517,7 +601,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
-	write(event{"event": "queued", "queue_depth": len(s.queue), "queue_cap": cap(s.queue)})
+	queued := event{"event": "queued", "queue_depth": len(s.queue), "queue_cap": cap(s.queue)}
+	if degraded {
+		queued["degraded"] = "sampled fidelity (memory pressure)"
+	}
+	write(queued)
 	// Drain until the worker closes the channel — unconditionally, so the
 	// worker's sends always complete even if the client is gone.
 	for e := range j.events {
@@ -532,7 +620,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]any{
+	resp := map[string]any{
 		"status":    "ok",
 		"uptime_s":  time.Since(s.started).Seconds(),
 		"workers":   s.cfg.Jobs,
@@ -543,7 +631,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"finished":  s.finished.Load(),
 		"rejected":  s.rejected.Load(),
 		"draining":  s.draining.Load(),
-	})
+	}
+	if s.budget != nil {
+		// Pressure never flips status: degradation is the design, not a
+		// failure, so health stays "ok" all the way up the ladder.
+		resp["budget_total_bytes"] = s.budget.Total()
+		resp["budget_peak_live_bytes"] = s.budget.PeakLive()
+		resp["budget_denials"] = s.budget.Denials()
+		resp["budget_tenants"] = s.budget.Tenants()
+		resp["pressure"] = s.budget.Pressure()
+		resp["pressure_level"] = s.budget.Level().String()
+	}
+	_ = json.NewEncoder(w).Encode(resp)
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {

@@ -15,13 +15,15 @@ import (
 // Recording is a single atomic add into a fixed array: allocation-free and
 // safe for the concurrent streams of a parallel cell fan-out.
 type AllocProfile struct {
-	classes [heap.NumClasses + 1]atomic.Uint64
+	classes    [heap.NumClasses + 1]atomic.Uint64
+	largeBytes atomic.Uint64
 }
 
 // RecordAlloc counts one allocation request of the given size.
 func (p *AllocProfile) RecordAlloc(size uint64) {
 	if size == 0 || size > heap.MaxClassSize {
 		p.classes[heap.NumClasses].Add(1)
+		p.largeBytes.Add(size)
 		return
 	}
 	p.classes[heap.SizeToClass(size)].Add(1)
@@ -48,6 +50,21 @@ func (p *AllocProfile) Snapshot() []ClassCount {
 		out = append(out, ClassCount{Bytes: 0, Count: n})
 	}
 	return out
+}
+
+// ApproxBytes returns the total bytes requested so far: exact for the
+// large-object bucket (sizes are summed as they arrive) and rounded up to
+// class size for everything else — the same rounding the allocators
+// themselves apply, so this tracks the heap traffic a budget controller
+// cares about. Like the counters it reads, it is a lock-free snapshot:
+// concurrent recording may make it momentarily stale but never backwards
+// between two calls on a quiescent profile.
+func (p *AllocProfile) ApproxBytes() uint64 {
+	var t uint64
+	for c := 0; c < heap.NumClasses; c++ {
+		t += p.classes[c].Load() * heap.ClassSize(c)
+	}
+	return t + p.largeBytes.Load()
 }
 
 // Total returns the total recorded allocations.

@@ -191,6 +191,44 @@ func (h *Histogram) Observe(v float64) {
 	h.mu.Unlock()
 }
 
+// Quantile estimates the q-th quantile (0 <= q <= 1) from the bucket
+// counts, interpolating linearly inside the bucket the quantile lands in
+// (Prometheus histogram_quantile semantics). Samples in the +Inf bucket
+// clamp to the highest finite bound. Returns 0 on nil or with no
+// observations — callers treat that as "no signal yet".
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	var cum uint64
+	for i, bound := range h.bounds {
+		prev := cum
+		cum += h.buckets[i]
+		if float64(cum) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if h.buckets[i] == 0 {
+				return bound
+			}
+			return lo + (bound-lo)*(rank-float64(prev))/float64(h.buckets[i])
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Count returns the number of observations (0 on nil).
 func (h *Histogram) Count() uint64 {
 	if h == nil {

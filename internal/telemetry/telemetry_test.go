@@ -230,6 +230,48 @@ func TestAllocProfile(t *testing.T) {
 	if p.Total() != 4 {
 		t.Errorf("total %d, want 4", p.Total())
 	}
+	// ApproxBytes: small classes round up to class size, the large bucket
+	// is exact.
+	want := uint64(2*8 + 104 + 1<<20)
+	if got := p.ApproxBytes(); got != want {
+		t.Errorf("ApproxBytes %d, want %d", got, want)
+	}
+}
+
+// TestHistogramQuantile pins the linear-interpolation estimate against
+// hand-computed values, including the empty, +Inf-bucket and nil cases.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_test", "", []float64{1, 10, 100}, nil)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram p50 = %v, want 0", got)
+	}
+	// 4 samples in (1,10], 4 in (10,100].
+	for _, v := range []float64{2, 4, 6, 8, 20, 40, 60, 80} {
+		h.Observe(v)
+	}
+	// p50: rank 4 falls exactly on the end of bucket (1,10] → 10.
+	if got := h.Quantile(0.5); got != 10 {
+		t.Errorf("p50 = %v, want 10", got)
+	}
+	// p25: rank 2 is halfway through (1,10] → 1 + 9*2/4 = 5.5.
+	if got := h.Quantile(0.25); got != 5.5 {
+		t.Errorf("p25 = %v, want 5.5", got)
+	}
+	// p100 clamps into the last finite bucket.
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("p100 = %v, want 100", got)
+	}
+	// Samples beyond every bound clamp to the highest finite bound.
+	h2 := r.Histogram("q_test2", "", []float64{1}, nil)
+	h2.Observe(50)
+	if got := h2.Quantile(0.5); got != 1 {
+		t.Errorf("overflow-bucket p50 = %v, want 1", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil p50 = %v, want 0", got)
+	}
 }
 
 // TestManifestValidate round-trips a manifest through disk and the

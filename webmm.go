@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"webmm/internal/apprt"
+	"webmm/internal/budget"
 	"webmm/internal/cpu"
 	"webmm/internal/experiments"
 	"webmm/internal/heap"
@@ -163,6 +164,10 @@ const (
 	ExpFig10  ExperimentName = "fig10"
 	ExpFig11  ExperimentName = "fig11"
 	ExpFig12  ExperimentName = "fig12"
+	// ExpHeapLimit is the study's extension experiment: throughput vs
+	// per-stream heap limit for the PHP allocators, exposing each
+	// allocator's memory floor.
+	ExpHeapLimit ExperimentName = "heaplimit"
 )
 
 // ExperimentInfo describes one registered experiment.
@@ -173,6 +178,9 @@ type ExperimentInfo struct {
 	Doc string
 	// Example is a one-line cmd/webmm invocation.
 	Example string
+	// Extra marks an extension beyond the paper's evaluation (run by name,
+	// not by "all").
+	Extra bool
 }
 
 // Experiments returns the registered experiments in the paper's reporting
@@ -182,6 +190,7 @@ func Experiments() []ExperimentInfo {
 	for _, d := range experiments.Experiments() {
 		out = append(out, ExperimentInfo{
 			Name: ExperimentName(d.Name), Ref: d.Ref, Doc: d.Doc, Example: d.Example,
+			Extra: d.Extra,
 		})
 	}
 	return out
@@ -272,6 +281,7 @@ type Study struct {
 	platform string
 	jobs     int
 	tel      *Telemetry
+	budget   *budget.Controller // nil without WithGlobalBudget
 	started  time.Time
 	ran      []string
 }
@@ -288,6 +298,8 @@ type studyConfig struct {
 	timeout  time.Duration
 	ctx      context.Context
 	tel      *Telemetry
+	budget   uint64
+	pressure PressurePolicy
 }
 
 // WithPlatform sets the default platform ("xeon" or "niagara") for Cell
@@ -399,6 +411,27 @@ func WithTelemetry(tel *Telemetry) StudyOption {
 	return func(c *studyConfig) error { c.tel = tel; return nil }
 }
 
+// PressurePolicy tunes the global-budget controller: the pressure-ladder
+// thresholds, the rebalance interval, the per-tenant floor, and the
+// allocation-rate smoothing. The zero value means the defaults.
+type PressurePolicy = budget.Policy
+
+// WithGlobalBudget puts the study's concurrently running cells under one
+// global byte budget: a MemBalancer-style controller (see internal/budget)
+// apportions it across cells by allocation rate, moving each cell's
+// address-space limits mid-run. Cells the controller never denies stay
+// bit-identical to unbudgeted runs (and cache as usual); cells it does deny
+// are marked pressured and excluded from memoization. 0 means unlimited.
+func WithGlobalBudget(bytes uint64) StudyOption {
+	return func(c *studyConfig) error { c.budget = bytes; return nil }
+}
+
+// WithPressurePolicy tunes the global-budget controller; ignored without
+// WithGlobalBudget.
+func WithPressurePolicy(p PressurePolicy) StudyOption {
+	return func(c *studyConfig) error { c.pressure = p; return nil }
+}
+
 // NewStudy builds a study runner from options; the defaults are the
 // interactive configuration (scale 32, 2 warmup + 3 measured transactions,
 // the paper's seed, Xeon, GOMAXPROCS jobs, no cache, no faults, telemetry
@@ -432,13 +465,20 @@ func NewStudy(opts ...StudyOption) (*Study, error) {
 	r.Timeout = c.timeout
 	r.Ctx = c.ctx
 	r.Tel = c.tel
-	return &Study{
+	s := &Study{
 		r:        r,
 		platform: c.platform,
 		jobs:     c.jobs,
 		tel:      c.tel,
 		started:  time.Now(),
-	}, nil
+	}
+	if c.budget > 0 {
+		s.budget = budget.New(c.budget, c.pressure)
+		s.budget.PublishTo(c.tel.Metrics())
+		s.budget.Start()
+		r.Budget = s.budget
+	}
+	return s, nil
 }
 
 // CellSpec selects one simulation cell. Platform defaults to the study's
@@ -454,6 +494,12 @@ type CellSpec struct {
 	// figures do, so 500 means the paper's configuration at any scale.
 	Ruby         bool
 	RestartEvery int
+	// Budget, when > 0, caps each of the cell's per-stream address spaces
+	// at this many mapped bytes for the whole run (the heap-limit sweep's
+	// x-axis). Unlike WithGlobalBudget this is static and deterministic: a
+	// budget below the allocator's memory floor fails the cell the same way
+	// every time, and the outcome is memoized and cached.
+	Budget uint64
 }
 
 // CellOutcome is everything one simulated cell reports.
@@ -486,6 +532,7 @@ func (s *Study) Cell(spec CellSpec) (CellOutcome, error) {
 	cell := experiments.Cell{
 		Platform: spec.Platform, Alloc: string(spec.Alloc), Workload: spec.Workload,
 		Cores: spec.Cores, Ruby: spec.Ruby, RestartEvery: restart,
+		Budget: spec.Budget,
 	}
 	cr := s.r.Run(cell)
 	if cr.Failed {
@@ -558,11 +605,15 @@ func (s *Study) Failures() []error {
 // (experiments.Fig5, experiments.Table4, ...).
 func (s *Study) Runner() *experiments.Runner { return s.r }
 
-// Close finalizes the study's telemetry: it assembles the run manifest
-// (experiments run, per-cell accounting, cache behaviour, failures), stamps
-// it, and closes the attached session, flushing its files. Without
-// telemetry, Close is a no-op. The study itself stays usable.
+// Close stops the study's budget controller (if any) and finalizes its
+// telemetry: it assembles the run manifest (experiments run, per-cell
+// accounting, cache behaviour, failures), stamps it, and closes the
+// attached session, flushing its files. Without telemetry or a budget,
+// Close is a no-op. The study itself stays usable (budget-free).
 func (s *Study) Close() error {
+	if s.budget != nil {
+		s.budget.Close()
+	}
 	if !s.tel.Enabled() {
 		return nil
 	}

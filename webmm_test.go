@@ -205,15 +205,70 @@ func TestRegistriesExposed(t *testing.T) {
 	}
 
 	exps := webmm.Experiments()
-	if len(exps) != 12 {
-		t.Fatalf("got %d experiments, want 12", len(exps))
+	if len(exps) != 13 {
+		t.Fatalf("got %d experiments, want the paper's 12 plus the heap-limit extension", len(exps))
 	}
-	if exps[0].Name != webmm.ExpFig1 || exps[len(exps)-1].Name != webmm.ExpFig12 {
+	if exps[0].Name != webmm.ExpFig1 || exps[len(exps)-1].Name != webmm.ExpHeapLimit {
 		t.Errorf("experiment order wrong: first %s last %s", exps[0].Name, exps[len(exps)-1].Name)
 	}
 	for _, e := range exps {
 		if e.Ref == "" || e.Doc == "" || e.Example == "" {
 			t.Errorf("experiment %s missing ref, doc, or example", e.Name)
 		}
+		if e.Extra != (e.Name == webmm.ExpHeapLimit) {
+			t.Errorf("experiment %s Extra = %v; only the extension should be extra", e.Name, e.Extra)
+		}
+	}
+}
+
+func TestStudyGlobalBudgetAndCellBudget(t *testing.T) {
+	spec := webmm.CellSpec{Alloc: webmm.AllocDefault, Workload: "phpBB", Cores: 1}
+
+	free, err := webmm.NewStudy(webmm.WithScale(64), webmm.WithRounds(1, 1), webmm.WithJobs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := free.Cell(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A global budget the load never presses against must leave every
+	// number bit-identical to the unbudgeted study.
+	budgeted, err := webmm.NewStudy(
+		webmm.WithScale(64),
+		webmm.WithRounds(1, 1),
+		webmm.WithJobs(1),
+		webmm.WithGlobalBudget(4<<30),
+		webmm.WithPressurePolicy(webmm.PressurePolicy{DegradeAt: 0.7, QueueAt: 0.85, ShedAt: 0.95}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := budgeted.Cell(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("unpressured outcome diverged under a slack global budget:\n got %+v\nwant %+v", got, want)
+	}
+	if err := budgeted.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+
+	// A static per-cell budget above the allocator's memory floor succeeds...
+	roomy := spec
+	roomy.Budget = 2 << 20
+	if out, err := free.Cell(roomy); err != nil {
+		t.Fatalf("Cell with 2MiB budget: %v", err)
+	} else if out.Machine.Throughput != want.Machine.Throughput {
+		t.Errorf("2MiB budget changed throughput: %v vs %v", out.Machine.Throughput, want.Machine.Throughput)
+	}
+
+	// ...and one below it is a deterministic error, not zeros.
+	tight := spec
+	tight.Budget = 256 << 10
+	if _, err := free.Cell(tight); err == nil {
+		t.Error("Cell with a 256KiB budget succeeded; want the allocator's construction to fail")
 	}
 }
