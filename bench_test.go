@@ -125,6 +125,22 @@ func BenchmarkFig1Cell(b *testing.B) {
 	}
 }
 
+// BenchmarkDRAMCell is BenchmarkFig1Cell with the banked DRAM model
+// (FR-FCFS) in place of the bus: the delta over Fig1Cell is the full cost
+// of recording every measured bus transaction and replaying the per-bank
+// queues — the overhead a -memsched cell pays.
+func BenchmarkDRAMCell(b *testing.B) {
+	wl := workload.MediaWikiRW().Name
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		cr := r.Run(experiments.Cell{
+			Platform: "xeon", Alloc: "default", Workload: wl, Cores: 8,
+			MemSched: "frfcfs",
+		})
+		b.ReportMetric(cr.Res.Throughput, "tps")
+	}
+}
+
 // BenchmarkCellL2Heavy simulates one 8-core Niagara cell. Niagara's L1s are
 // a quarter the size of Xeon's (8 KiB D / 16 KiB I, 4-way) with no
 // prefetcher, so a far larger share of accesses falls through to the shared

@@ -71,6 +71,8 @@ import (
 
 	"webmm/internal/apprt"
 	"webmm/internal/experiments"
+	"webmm/internal/machine"
+	"webmm/internal/memsys"
 	"webmm/internal/report"
 	"webmm/internal/sim"
 	"webmm/internal/telemetry"
@@ -95,10 +97,11 @@ func run() int {
 		cellDir  = flag.String("cellcache", "", "directory of the on-disk cell-result cache (empty = disabled)")
 		xeonLP   = flag.Bool("xeon-large-pages", false, "enable DDmalloc large pages on Xeon (paper's +11.7% variant)")
 		fidelity = flag.String("fidelity", "full", "measurement fidelity: full (bit-reproducible) or sampled (SMARTS-style sampling; much faster on long -measure runs)")
-		platform = flag.String("platform", "xeon", "cell: platform (xeon, niagara)")
+		platform = flag.String("platform", "xeon", "cell: platform ("+strings.Join(machine.PlatformNames(), ", ")+")")
 		alloc    = flag.String("alloc", "ddmalloc", "cell: allocator (see the list below)")
 		wl       = flag.String("workload", "MediaWiki(ro)", "cell: workload name")
 		cores    = flag.Int("cores", 8, "cell: active cores")
+		memsched = flag.String("memsched", "", "cell: DRAM scheduling policy (see the list below; empty = the paper's bus model)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		faults   = flag.String("faults", "", "fault plan, e.g. 'oom:0.01,panic:0.1,budget:512MiB,squeeze:0.5,cachecorrupt' (see ParseFaults)")
@@ -199,6 +202,12 @@ func run() int {
 			return 2
 		}
 	}
+	if *memsched != "" {
+		if _, err := memsys.PolicyByName(memsys.PolicyName(*memsched)); err != nil {
+			fmt.Fprintln(os.Stderr, "webmm: -memsched:", err)
+			return 2
+		}
+	}
 
 	names := []string{*exp}
 	if *exp == "all" {
@@ -206,7 +215,7 @@ func run() int {
 	}
 	var ran []string
 	for _, name := range names {
-		if err := runExperiment(r, name, *jobs, *csv, *platform, *alloc, *wl, *cores, cellBudget); err != nil {
+		if err := runExperiment(r, name, *jobs, *csv, *platform, *alloc, *wl, *cores, cellBudget, *memsched); err != nil {
 			fmt.Fprintln(os.Stderr, "webmm:", err)
 			return 2
 		}
@@ -261,11 +270,11 @@ func run() int {
 // memoized results. "cell" is the one experiment outside the registry: a
 // single cell selected by the -platform/-alloc/-workload/-cores flags.
 func runExperiment(r *experiments.Runner, name string, jobs int, csv bool,
-	platform, alloc, wl string, cores int, budget uint64) error {
+	platform, alloc, wl string, cores int, budget uint64, memsched string) error {
 	if name == "cell" {
 		cr := r.Run(experiments.Cell{
 			Platform: platform, Alloc: alloc, Workload: wl, Cores: cores,
-			Budget: budget,
+			Budget: budget, MemSched: memsched,
 		})
 		printCell(cr)
 		return nil
@@ -336,6 +345,8 @@ func usage() {
 	for _, d := range apprt.Allocators() {
 		fmt.Fprintf(flag.CommandLine.Output(), "  %-8s [%s] %s\n", d.Name, d.Study, d.Doc)
 	}
+	fmt.Fprintf(flag.CommandLine.Output(), "\nPlatforms (-platform):\n%s", machine.UsagePlatforms())
+	fmt.Fprintf(flag.CommandLine.Output(), "\nMemory scheduling policies (-memsched; DRAM model, see -exp memsched):\n%s", memsys.UsagePolicies())
 }
 
 func printCatalogues() {
@@ -346,6 +357,14 @@ func printCatalogues() {
 	fmt.Println("\nAllocators:")
 	for _, d := range apprt.Allocators() {
 		fmt.Printf("  %-8s [%-5s] %s\n", d.Name, d.Study, d.Doc)
+	}
+	fmt.Println("\nPlatforms:")
+	for _, d := range machine.Platforms() {
+		fmt.Printf("  %-8s %s\n", d.Name, d.Doc)
+	}
+	fmt.Println("\nMemory scheduling policies (-memsched):")
+	for _, d := range memsys.Policies() {
+		fmt.Printf("  %-8s [%s] %s\n", d.Name, d.Ref, d.Doc)
 	}
 }
 
@@ -362,6 +381,14 @@ func printCell(cr experiments.CellResult) {
 	t.Add("wall seconds", report.F(res.WallSeconds, 4))
 	t.Add("bus utilization", report.PctOf(res.BusUtil))
 	t.Add("bus latency multiplier", report.F(res.BusMult, 2))
+	if ms := res.Mem; ms != nil {
+		t.Add("memory system", fmt.Sprintf("%s/%s (%d banks)", ms.Model, ms.Policy, ms.Banks))
+		t.Add("DRAM row hits", report.PctOf(ms.RowHitRate()))
+		t.Add("DRAM row conflicts", report.PctOf(ms.RowConflictRate()))
+		t.Add("DRAM row factor", report.F(ms.RowFactor, 3))
+		t.Add("DRAM bank queue (avg/max)", fmt.Sprintf("%s / %d",
+			report.F(ms.AvgQueueDepth, 1), ms.MaxQueueDepth))
+	}
 	t.Add("cycles/txn", report.F(res.CyclesPerTxn(), 0))
 	mm := res.ClassCyclesPerTxn(sim.ClassAlloc)
 	mmShare := 0.0

@@ -5,43 +5,60 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"webmm/internal/memsys"
 )
 
 const (
 	expBegin = "<!-- BEGIN GENERATED EXPERIMENTS -->\n"
 	expEnd   = "<!-- END GENERATED EXPERIMENTS -->"
+
+	polBegin = "<!-- BEGIN GENERATED MEMSCHED POLICIES -->\n"
+	polEnd   = "<!-- END GENERATED MEMSCHED POLICIES -->"
 )
 
-// TestExperimentsMarkdownInSync pins the generated experiment catalogue in
-// EXPERIMENTS.md to the registry: editing one without the other fails here.
-// Regenerate the committed section with -update.
-func TestExperimentsMarkdownInSync(t *testing.T) {
+// syncGenerated pins one marker-delimited generated block of EXPERIMENTS.md
+// to its in-code source of truth; -update rewrites the committed block.
+func syncGenerated(t *testing.T, begin, end, want string) {
+	t.Helper()
 	path := filepath.Join("..", "..", "EXPERIMENTS.md")
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	doc := string(data)
-	begin := strings.Index(doc, expBegin)
-	end := strings.Index(doc, expEnd)
-	if begin < 0 || end < 0 || end < begin {
-		t.Fatalf("EXPERIMENTS.md is missing the generated-catalogue markers %q ... %q",
-			strings.TrimSpace(expBegin), expEnd)
+	b := strings.Index(doc, begin)
+	e := strings.Index(doc, end)
+	if b < 0 || e < 0 || e < b {
+		t.Fatalf("EXPERIMENTS.md is missing the generated markers %q ... %q",
+			strings.TrimSpace(begin), end)
 	}
-	want := ExperimentsMarkdown()
-	got := doc[begin+len(expBegin) : end]
+	got := doc[b+len(begin) : e]
 	if got == want {
 		return
 	}
 	if *update {
-		out := doc[:begin+len(expBegin)] + want + doc[end:]
+		out := doc[:b+len(begin)] + want + doc[e:]
 		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
 			t.Fatal(err)
 		}
 		return
 	}
-	t.Errorf("EXPERIMENTS.md catalogue out of sync with the registry (run with -update):\ncommitted:\n%s\nregistry:\n%s",
+	t.Errorf("EXPERIMENTS.md generated block out of sync (run with -update):\ncommitted:\n%s\nsource:\n%s",
 		got, want)
+}
+
+// TestExperimentsMarkdownInSync pins the generated experiment catalogue in
+// EXPERIMENTS.md to the registry: editing one without the other fails here.
+// Regenerate the committed section with -update.
+func TestExperimentsMarkdownInSync(t *testing.T) {
+	syncGenerated(t, expBegin, expEnd, ExperimentsMarkdown())
+}
+
+// TestPoliciesMarkdownInSync pins the memsched policy table in
+// EXPERIMENTS.md to the memsys policy registry the same way.
+func TestPoliciesMarkdownInSync(t *testing.T) {
+	syncGenerated(t, polBegin, polEnd, memsys.PoliciesMarkdown())
 }
 
 // TestUsageExperimentsCoversRegistry is a cheap guard that the -h text

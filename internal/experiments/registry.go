@@ -169,6 +169,18 @@ var registry = []Descriptor{
 			return out
 		},
 	},
+	{
+		Name: "memsched", Ref: "Extension", Extra: true,
+		Doc:     "allocator x DRAM scheduling policy x cores: throughput vs the bus model and row-buffer hit/conflict rates",
+		Example: "webmm -exp memsched -scale 64 -jobs 8",
+		Cells:   (*Runner).MemSchedCells,
+		Run: func(r *Runner) Output {
+			entries := MemSched(r)
+			out := tables(MemSchedTable(entries))
+			out.Charts = append(out.Charts, MemSchedChart(entries))
+			return out
+		},
+	},
 }
 
 // Experiments returns the experiment descriptors in the paper's reporting

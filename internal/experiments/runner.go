@@ -23,6 +23,7 @@ import (
 	"webmm/internal/heap"
 	"webmm/internal/machine"
 	"webmm/internal/mem"
+	"webmm/internal/memsys"
 	"webmm/internal/sim"
 	"webmm/internal/telemetry"
 	"webmm/internal/workload"
@@ -126,6 +127,12 @@ type Cell struct {
 	// omitempty keeps fingerprints of unbudgeted cells byte-identical to
 	// builds that predate the field.
 	Budget uint64 `json:",omitempty"`
+	// MemSched, when non-empty, replaces the platform's bus memory system
+	// with the DRAM model running the named scheduling policy (see
+	// internal/memsys). Empty keeps the paper's bus model; omitempty
+	// keeps bus-cell fingerprints byte-identical to builds that predate
+	// the field.
+	MemSched string `json:",omitempty"`
 }
 
 // CellResult bundles everything an experiment needs from one run.
@@ -464,6 +471,9 @@ func cellKey(c Cell) string {
 	if c.Budget > 0 {
 		k += fmt.Sprintf("/budget:%d", c.Budget)
 	}
+	if c.MemSched != "" {
+		k += "/memsched:" + c.MemSched
+	}
 	return k
 }
 
@@ -768,6 +778,19 @@ func (r *Runner) simulate(ctx context.Context, c Cell, attempt int, span *teleme
 		return CellResult{}, err
 	}
 	plat = scalePlatform(plat, r.Cfg.Scale)
+	if c.MemSched != "" {
+		// The DRAM model sits behind the same transfer link the platform's
+		// bus prices, so the aggregate bandwidth story is unchanged; what
+		// the swap adds is row-buffer economics and per-core scheduling.
+		dram, err := memsys.NewDRAM(
+			memsys.DRAMConfig{Policy: memsys.PolicyName(c.MemSched)},
+			plat.Mem.Link(), c.Cores)
+		if err != nil {
+			construct.End()
+			return CellResult{}, err
+		}
+		plat.Mem = dram
+	}
 
 	prof, err := workload.ByName(c.Workload)
 	if err != nil {
@@ -944,6 +967,18 @@ func (r *Runner) simulate(ctx context.Context, c Cell, attempt int, span *teleme
 	slv := span.Child("solve", "phase")
 	res := m.Solve()
 	slv.End()
+	if ms := res.Mem; ms != nil && r.Tel.Enabled() {
+		met := r.Tel.Metrics()
+		lbl := telemetry.Labels{"policy": ms.Policy}
+		met.Counter("webmm_dram_row_hits_total",
+			"DRAM requests served from an open row, by scheduling policy", lbl).Add(ms.RowHits)
+		met.Counter("webmm_dram_row_conflicts_total",
+			"DRAM requests that closed another bank row first, by scheduling policy", lbl).Add(ms.RowConflicts)
+		met.Counter("webmm_dram_row_closed_total",
+			"DRAM requests that found their bank precharged, by scheduling policy", lbl).Add(ms.RowClosed)
+		met.Gauge("webmm_dram_bank_queue_depth_max",
+			"deepest per-bank request queue observed in the last DRAM-backed cell", lbl).Set(float64(ms.MaxQueueDepth))
+	}
 	out := CellResult{Cell: c, Res: res}
 	var fpSum float64
 	var calls heap.Stats

@@ -7,6 +7,7 @@ import (
 	"webmm/internal/cache"
 	"webmm/internal/cpu"
 	"webmm/internal/mem"
+	"webmm/internal/memsys"
 	"webmm/internal/sim"
 )
 
@@ -123,6 +124,13 @@ type Machine struct {
 	cores   []*coreState
 	l2s     []*l2State
 
+	// memRec is the memory system's miss-traffic observer, resolved once
+	// at construction. The default bus model observes nothing, so this is
+	// nil and the measured pricing path pays one nil check per bus
+	// transaction; warm rounds never record (their counters are discarded,
+	// and a DRAM model must see exactly the traffic the bus is billed for).
+	memRec memsys.Recorder
+
 	// Sampler bookkeeping: the round counter, running per-class totals
 	// maintained incrementally as pricing flushes counter deltas, and the
 	// totals at the previous sample. Keeping classTotals up to date as a
@@ -174,7 +182,7 @@ func New(p Platform, nCores int, allocCode, appCode uint64, seed uint64) *Machin
 	if nCores < 1 || nCores > p.MaxCores {
 		panic(fmt.Sprintf("machine: nCores %d out of range 1..%d", nCores, p.MaxCores))
 	}
-	m := &Machine{Plat: p, NCores: nCores, quantum: 64}
+	m := &Machine{Plat: p, NCores: nCores, quantum: 64, memRec: p.Mem.Recorder()}
 	code := sim.NewCodeLayout(allocCode, appCode)
 	root := sim.NewRNG(seed)
 
@@ -423,7 +431,7 @@ func (m *Machine) priceIFetchRun(s *Stream, ctr *cpu.Counters, first, nLines uin
 	for j := range misses {
 		// Instruction lines are never dirty, so L1I victims need no
 		// writeback.
-		m.l2Access(l2, ctr, misses[j].Line, false, true, meas)
+		m.l2Access(l2, ctr, s.Core, misses[j].Line, false, true, meas)
 	}
 	if meas {
 		ctr.L1IAcc += nLines
@@ -478,9 +486,12 @@ func (m *Machine) priceData(s *Stream, ctr *cpu.Counters, addr mem.Addr, size ui
 				wbVictim := l2.c.WriteBack(victim.Line)
 				if wbVictim.Valid && wbVictim.Dirty && meas {
 					ctr.BusWrite++
+					if m.memRec != nil {
+						m.memRec.Record(wbVictim.Line, s.Core, memsys.Writeback)
+					}
 				}
 			}
-			m.l2Access(l2, ctr, first, write, false, meas)
+			m.l2Access(l2, ctr, s.Core, first, write, false, meas)
 		}
 		if meas {
 			ctr.L1DAcc++
@@ -499,9 +510,12 @@ func (m *Machine) priceData(s *Stream, ctr *cpu.Counters, addr mem.Addr, size ui
 			wbVictim := l2.c.WriteBack(v.Line)
 			if wbVictim.Valid && wbVictim.Dirty && meas {
 				ctr.BusWrite++
+				if m.memRec != nil {
+					m.memRec.Record(wbVictim.Line, s.Core, memsys.Writeback)
+				}
 			}
 		}
-		m.l2Access(l2, ctr, rm.Line, write, false, meas)
+		m.l2Access(l2, ctr, s.Core, rm.Line, write, false, meas)
 	}
 	if meas {
 		ctr.L1DAcc += nLines
@@ -515,8 +529,10 @@ func (m *Machine) l2ForCore(coreID int) *l2State {
 
 // l2Access performs the shared-L2 lookup and, on a miss, the memory fetch,
 // prefetcher consultation and writeback accounting. The caller resolves the
-// stream's L2 cluster once per event rather than once per line.
-func (m *Machine) l2Access(l2 *l2State, ctr *cpu.Counters, line uint64, write, ifetch, meas bool) {
+// stream's L2 cluster once per event rather than once per line; core is the
+// issuing core, attributed to every memory-system transaction so scheduling
+// policies can classify cores.
+func (m *Machine) l2Access(l2 *l2State, ctr *cpu.Counters, core int, line uint64, write, ifetch, meas bool) {
 	hit, wasPrefetched, victim := l2.c.Access(line, write)
 	if hit {
 		if meas {
@@ -544,8 +560,14 @@ func (m *Machine) l2Access(l2 *l2State, ctr *cpu.Counters, line uint64, write, i
 			ctr.L2MissRd++
 		}
 		ctr.BusRead++
+		if m.memRec != nil {
+			m.memRec.Record(line, core, memsys.Read)
+		}
 		if victim.Valid && victim.Dirty {
 			ctr.BusWrite++
+			if m.memRec != nil {
+				m.memRec.Record(victim.Line, core, memsys.Writeback)
+			}
 		}
 	}
 	if l2.pf != nil {
@@ -553,6 +575,12 @@ func (m *Machine) l2Access(l2 *l2State, ctr *cpu.Counters, line uint64, write, i
 			installed, v := l2.c.Install(pl, true)
 			if installed && meas {
 				ctr.BusPf++
+				if m.memRec != nil {
+					m.memRec.Record(pl, core, memsys.Prefetch)
+					if v.Valid && v.Dirty {
+						m.memRec.Record(v.Line, core, memsys.Writeback)
+					}
+				}
 				if v.Valid && v.Dirty {
 					ctr.BusWrite++
 				}

@@ -220,7 +220,7 @@ func TestSolveConverges(t *testing.T) {
 	if math.IsNaN(r.Throughput) || math.IsInf(r.Throughput, 0) || r.Throughput <= 0 {
 		t.Fatalf("throughput = %v", r.Throughput)
 	}
-	if r.BusMult < 1 || r.BusMult > 1/(1-Xeon().Bus.MaxUtil)+1e-9 {
+	if r.BusMult < 1 || r.BusMult > 1/(1-Xeon().Mem.Link().MaxUtil)+1e-9 {
 		t.Fatalf("bus multiplier %v out of range", r.BusMult)
 	}
 }

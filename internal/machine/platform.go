@@ -6,11 +6,13 @@ package machine
 
 import (
 	"fmt"
+	"strings"
 
 	"webmm/internal/bus"
 	"webmm/internal/cache"
 	"webmm/internal/cpu"
 	"webmm/internal/mem"
+	"webmm/internal/memsys"
 )
 
 // PrefetchConfig sizes a hardware stream prefetcher; nil means none.
@@ -39,7 +41,12 @@ type Platform struct {
 	Prefetch *PrefetchConfig
 
 	Core cpu.Model
-	Bus  bus.Model
+
+	// Mem is the memory system below the caches. Both stock platforms use
+	// the paper's shared-bus model (memsys.Bus); experiments swap in a
+	// DRAM model (memsys.DRAM) built around the same link to study
+	// row-buffer locality and scheduling policies.
+	Mem memsys.Model
 }
 
 // Threads returns the hardware threads available with nCores active cores.
@@ -50,6 +57,9 @@ func (p Platform) validate() Platform {
 	if p.MaxCores%p.CoresPerL2 != 0 {
 		panic(fmt.Sprintf("machine %s: %d cores not divisible into L2 clusters of %d",
 			p.Name, p.MaxCores, p.CoresPerL2))
+	}
+	if p.Mem == nil {
+		panic(fmt.Sprintf("machine %s: no memory system", p.Name))
 	}
 	return p
 }
@@ -82,7 +92,7 @@ func Xeon() Platform {
 		},
 		// Dual 1066 MT/s FSBs sustain ~8 GB/s in practice; at the
 		// 1.86 GHz core clock that is ~4.3 bytes per cycle.
-		Bus: bus.Model{BytesPerCycle: 4.3, BytesPerTxn: mem.LineSize, MaxUtil: 0.93},
+		Mem: memsys.NewBus(bus.Model{BytesPerCycle: 4.3, BytesPerTxn: mem.LineSize, MaxUtil: 0.93}),
 	}.validate()
 }
 
@@ -115,18 +125,70 @@ func Niagara() Platform {
 		// at the 1.2 GHz core clock is ~8.5 bytes per cycle — still far
 		// more headroom relative to compute than the Xeon FSB, which is
 		// the paper's explanation for the milder region degradation.
-		Bus: bus.Model{BytesPerCycle: 7.5, BytesPerTxn: mem.LineSize, MaxUtil: 0.93},
+		Mem: memsys.NewBus(bus.Model{BytesPerCycle: 7.5, BytesPerTxn: mem.LineSize, MaxUtil: 0.93}),
 	}.validate()
 }
 
-// PlatformByName returns the named platform ("xeon" or "niagara").
-func PlatformByName(name string) (Platform, error) {
-	switch name {
-	case "xeon":
-		return Xeon(), nil
-	case "niagara":
-		return Niagara(), nil
-	default:
-		return Platform{}, fmt.Errorf("machine: unknown platform %q", name)
+// PlatformDesc describes one registered platform; the table drives name
+// resolution, CLI usage and catalogue output, so a new platform cannot
+// drift out of any of them.
+type PlatformDesc struct {
+	Name string
+	// Doc is the one-line hardware summary shown in usage and -list.
+	Doc string
+	// New constructs a fresh Platform value.
+	New func() Platform
+}
+
+// platformRegistry is the authoritative platform table, in presentation
+// order.
+var platformRegistry = []PlatformDesc{
+	{
+		Name: "xeon",
+		Doc:  "Intel Xeon E5320: 8 OoO cores, paired 4 MiB L2s, prefetcher, modest FSB",
+		New:  Xeon,
+	},
+	{
+		Name: "niagara",
+		Doc:  "Sun UltraSPARC T1: 8 in-order cores x 4 threads, shared 3 MiB L2, wide memory",
+		New:  Niagara,
+	},
+}
+
+// Platforms returns the registered platform descriptors in presentation
+// order. The slice is a copy; callers may not mutate the registry.
+func Platforms() []PlatformDesc {
+	out := make([]PlatformDesc, len(platformRegistry))
+	copy(out, platformRegistry)
+	return out
+}
+
+// PlatformNames returns the registered platform names in presentation order.
+func PlatformNames() []string {
+	out := make([]string, len(platformRegistry))
+	for i, d := range platformRegistry {
+		out[i] = d.Name
 	}
+	return out
+}
+
+// PlatformByName returns the named platform, with the registered candidates
+// in the error so the message can never drift from the registry.
+func PlatformByName(name string) (Platform, error) {
+	for _, d := range platformRegistry {
+		if d.Name == name {
+			return d.New(), nil
+		}
+	}
+	return Platform{}, fmt.Errorf("machine: unknown platform %q (valid: %v)", name, PlatformNames())
+}
+
+// UsagePlatforms renders the platform table for CLI -h output, one line per
+// platform, matching the experiment registry's usage format.
+func UsagePlatforms() string {
+	var b strings.Builder
+	for _, d := range platformRegistry {
+		fmt.Fprintf(&b, "  %-8s %s\n", d.Name, d.Doc)
+	}
+	return b.String()
 }

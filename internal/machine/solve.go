@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"webmm/internal/cpu"
+	"webmm/internal/memsys"
 	"webmm/internal/sim"
 )
 
@@ -31,10 +32,18 @@ type Result struct {
 	// Throughput is measured transactions per second.
 	Throughput float64
 
-	// BusUtil is the converged bus utilization; BusMult the memory
-	// latency multiplier it implies.
+	// BusUtil is the converged link utilization; BusMult the average
+	// memory latency multiplier it implies. (The names predate the
+	// memory-system seam and are kept for result compatibility; for the
+	// bus model they mean exactly what they say.)
 	BusUtil float64
 	BusMult float64
+
+	// Mem carries the memory system's observed statistics when the
+	// platform runs one that keeps any (the DRAM model); nil — and absent
+	// from the JSON encoding — for the default bus model, which is what
+	// keeps pre-seam result fingerprints byte-identical.
+	Mem *memsys.Stats `json:",omitempty"`
 
 	// ByClass attributes cycles and instructions to memory management,
 	// application, and OS work.
@@ -89,13 +98,27 @@ func (r Result) PerTxn(count uint64) float64 {
 	return float64(count) / float64(r.Txns)
 }
 
-// Solve converges the timing fixed point: stalls depend on the bus latency
-// multiplier, the multiplier depends on utilization, and utilization depends
-// on wall time, which depends on stalls. The load counters never change, so
-// damped iteration converges quickly.
+// Solve converges the timing fixed point: stalls depend on the memory
+// latency multiplier, the multiplier depends on utilization, and utilization
+// depends on wall time, which depends on stalls. The load counters never
+// change, so damped iteration converges quickly.
+//
+// The memory system contributes two fixed, pre-converged quantities on top
+// of the utilization feedback: an average service factor folded into
+// LatencyMultiplier (row-buffer economics) and a per-core factor (scheduling
+// favoritism) that scales each core's multiplier. Both are exactly 1 for the
+// bus model, making this arithmetic bit-identical to the pre-seam solver.
 func (m *Machine) Solve() Result {
 	p := m.Plat
+	msys := p.Mem
 	nStreams := len(m.streams)
+
+	// Per-core relative latency factors are frozen before iteration; the
+	// bus model returns exactly 1, and mult*1 is exact in IEEE arithmetic.
+	coreFactor := make([]float64, m.NCores)
+	for c := range coreFactor {
+		coreFactor[c] = msys.CoreFactor(c)
+	}
 
 	// Per-stream per-class instruction cycles are constant.
 	instrCyc := make([][sim.NumClasses]float64, nStreams)
@@ -117,8 +140,9 @@ func (m *Machine) Solve() Result {
 	stall := make([][sim.NumClasses]float64, nStreams)
 	for iter := 0; iter < 60; iter++ {
 		for i, s := range m.streams {
+			coreMult := mult * coreFactor[s.Core]
 			for cls := 0; cls < sim.NumClasses; cls++ {
-				stall[i][cls] = p.Core.StallCycles(s.counters[cls], mult, m.NCores)
+				stall[i][cls] = p.Core.StallCycles(s.counters[cls], coreMult, m.NCores)
 			}
 		}
 		wall = 0
@@ -135,8 +159,8 @@ func (m *Machine) Solve() Result {
 				wall = t
 			}
 		}
-		util = p.Bus.Utilization(busTxns, wall)
-		next := p.Bus.LatencyMultiplier(util)
+		util = msys.Utilization(busTxns, wall)
+		next := msys.LatencyMultiplier(util)
 		if math.Abs(next-mult) < 1e-9 {
 			mult = next
 			break
@@ -150,8 +174,9 @@ func (m *Machine) Solve() Result {
 		Threads:    len(m.streams),
 		Txns:        totalTxns,
 		WallCycles:  wall,
-		BusUtil:     math.Min(util, p.Bus.MaxUtil),
+		BusUtil:     math.Min(util, msys.Link().MaxUtil),
 		BusMult:     mult,
+		Mem:         msys.Stats(),
 		Totals:      totals,
 		ClassTotals: classTotals,
 	}

@@ -1,0 +1,278 @@
+package memsys
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"webmm/internal/bus"
+)
+
+func testLink() bus.Model {
+	return bus.Model{BytesPerCycle: 4.3, BytesPerTxn: 64, MaxUtil: 0.93}
+}
+
+// The Bus adapter must be arithmetically indistinguishable from consulting
+// the bus model directly — that is the default path's bit-identical
+// contract.
+func TestBusAdapterMatchesLink(t *testing.T) {
+	link := testLink()
+	b := NewBus(link)
+	for _, txns := range []uint64{0, 1, 1000, 123456789} {
+		for _, wall := range []float64{0, 1, 1e6, 3.7e9} {
+			if got, want := b.Utilization(txns, wall), link.Utilization(txns, wall); got != want {
+				t.Fatalf("Utilization(%d, %v) = %v, want %v", txns, wall, got, want)
+			}
+		}
+	}
+	for _, u := range []float64{-1, 0, 0.5, 0.93, 2} {
+		if got, want := b.LatencyMultiplier(u), link.LatencyMultiplier(u); got != want {
+			t.Fatalf("LatencyMultiplier(%v) = %v, want %v", u, got, want)
+		}
+	}
+	if b.Recorder() != nil {
+		t.Error("bus recorder should be nil (machine skips recording)")
+	}
+	if b.Stats() != nil {
+		t.Error("bus stats should be nil (keeps result JSON unchanged)")
+	}
+	if b.CoreFactor(3) != 1 {
+		t.Error("bus core factor must be exactly 1")
+	}
+	if b.Name() != "bus" {
+		t.Errorf("Name() = %q", b.Name())
+	}
+	if b.Link() != link {
+		t.Errorf("Link() = %+v", b.Link())
+	}
+}
+
+func TestPolicyRegistry(t *testing.T) {
+	names := PolicyNames()
+	want := []PolicyName{PolicyFRFCFS, PolicyATLAS, PolicyTCM, PolicyBLISS}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("PolicyNames() = %v, want %v", names, want)
+	}
+	for _, d := range Policies() {
+		if d.Doc == "" || d.Ref == "" {
+			t.Errorf("policy %s missing doc or ref", d.Name)
+		}
+		got, err := PolicyByName(d.Name)
+		if err != nil || got.Name != d.Name {
+			t.Errorf("PolicyByName(%q): %v", d.Name, err)
+		}
+	}
+	_, err := PolicyByName("fifo")
+	if err == nil {
+		t.Fatal("PolicyByName(fifo) succeeded")
+	}
+	for _, n := range names {
+		if !strings.Contains(err.Error(), string(n)) {
+			t.Errorf("unknown-policy error %q does not name candidate %s", err, n)
+		}
+	}
+	if UsagePolicies() == "" || PoliciesMarkdown() == "" {
+		t.Error("empty generated policy docs")
+	}
+}
+
+// lcg is a tiny deterministic generator for synthetic miss streams.
+type lcg uint64
+
+func (l *lcg) next() uint64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return uint64(*l) >> 16
+}
+
+func feed(t *testing.T, d *DRAM, n int, cores int) {
+	t.Helper()
+	g := lcg(42)
+	for i := 0; i < n; i++ {
+		// Mix sequential sweeps (row locality) with random lines.
+		var line uint64
+		if i%3 != 0 {
+			line = uint64(i) * 7 / 3
+		} else {
+			line = g.next() % (1 << 20)
+		}
+		kind := Kind(i % 3)
+		d.Record(line, i%cores, kind)
+	}
+}
+
+func TestDRAMDeterministic(t *testing.T) {
+	for _, p := range PolicyNames() {
+		a, err := NewDRAM(DRAMConfig{Policy: p}, testLink(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewDRAM(DRAMConfig{Policy: p}, testLink(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed(t, a, 5000, 4)
+		feed(t, b, 5000, 4)
+		if !reflect.DeepEqual(a.Stats(), b.Stats()) {
+			t.Errorf("%s: same stream produced different stats:\n%+v\n%+v", p, a.Stats(), b.Stats())
+		}
+	}
+}
+
+func TestDRAMAccounting(t *testing.T) {
+	d, err := NewDRAM(DRAMConfig{}, testLink(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, d, 5000, 4)
+	s := d.Stats()
+	if s.Total() != 5000 {
+		t.Fatalf("total %d, want 5000", s.Total())
+	}
+	if s.RowHits+s.RowClosed+s.RowConflicts != 5000 {
+		t.Fatalf("row outcomes %d+%d+%d don't sum to 5000", s.RowHits, s.RowClosed, s.RowConflicts)
+	}
+	if s.Reads == 0 || s.Writebacks == 0 || s.Prefetches == 0 {
+		t.Errorf("kind split incomplete: %+v", s)
+	}
+	if s.MaxQueueDepth < 1 || s.AvgQueueDepth <= 0 {
+		t.Errorf("queue stats missing: max %d avg %v", s.MaxQueueDepth, s.AvgQueueDepth)
+	}
+	if s.RowFactor <= 0 {
+		t.Errorf("row factor %v", s.RowFactor)
+	}
+}
+
+// A purely sequential sweep should be dominated by open-row hits under
+// FR-FCFS; ping-ponging between two rows of the same bank with no
+// reordering freedom (window 1) must conflict on every access after the
+// first two.
+func TestDRAMRowBufferBehavior(t *testing.T) {
+	d, err := NewDRAM(DRAMConfig{}, testLink(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for line := uint64(0); line < 4096; line++ {
+		d.Record(line, 0, Read)
+	}
+	if r := d.Stats().RowHitRate(); r < 0.8 {
+		t.Errorf("sequential sweep row-hit rate %v, want > 0.8", r)
+	}
+
+	// Same channel (even lines), same bank (rowGlobal ≡ 0 mod banks),
+	// different rows.
+	fc, err := NewDRAM(DRAMConfig{Window: 1}, testLink(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linesPerRow := fc.cfg.RowBytes / 64
+	strideLines := uint64(fc.cfg.Channels) * linesPerRow * uint64(fc.banksPerChannel)
+	for i := 0; i < 100; i++ {
+		fc.Record(uint64(i%2)*strideLines, 0, Read)
+	}
+	s := fc.Stats()
+	if s.RowConflicts != 99 || s.RowClosed != 1 {
+		t.Errorf("ping-pong: conflicts %d closed %d hits %d, want 99/1/0", s.RowConflicts, s.RowClosed, s.RowHits)
+	}
+}
+
+// Per-core factors must have request-weighted mean 1 (so redistributing
+// latency between cores never changes the aggregate bandwidth story) and
+// idle cores must get exactly 1.
+func TestDRAMCoreFactorsNormalized(t *testing.T) {
+	for _, p := range PolicyNames() {
+		d, err := NewDRAM(DRAMConfig{Policy: p}, testLink(), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cores 0..3 active with skewed demand; cores 4..7 idle.
+		g := lcg(7)
+		for i := 0; i < 8000; i++ {
+			core := 0
+			switch {
+			case i%8 < 4:
+				core = 0 // heavy
+			case i%8 < 6:
+				core = 1
+			case i%8 == 6:
+				core = 2
+			default:
+				core = 3 // light
+			}
+			d.Record(g.next()%(1<<18), core, Read)
+		}
+		s := d.Stats()
+		var weighted float64
+		var reqs uint64
+		for c := 0; c < 8; c++ {
+			f := d.CoreFactor(c)
+			if f <= 0 {
+				t.Errorf("%s: core %d factor %v", p, c, f)
+			}
+			if c >= 4 && f != 1 {
+				t.Errorf("%s: idle core %d factor %v, want exactly 1", p, c, f)
+			}
+			weighted += f * float64(d.coreReqs[c])
+			reqs += d.coreReqs[c]
+		}
+		mean := weighted / float64(reqs)
+		if mean < 0.999999 || mean > 1.000001 {
+			t.Errorf("%s: request-weighted mean factor %v, want 1", p, mean)
+		}
+		if len(s.CoreFactors) != 8 {
+			t.Errorf("%s: stats carry %d core factors, want 8", p, len(s.CoreFactors))
+		}
+	}
+}
+
+// With no recorded traffic the DRAM model must collapse to the bus model:
+// multiplier identical, factors 1 — a cell whose measured rounds generate
+// no misses prices the same either way.
+func TestDRAMNoTrafficMatchesBus(t *testing.T) {
+	link := testLink()
+	d, err := NewDRAM(DRAMConfig{}, link, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.LatencyMultiplier(0.5), link.LatencyMultiplier(0.5); got != want {
+		t.Errorf("multiplier %v, want %v", got, want)
+	}
+	if d.CoreFactor(0) != 1 || d.CoreFactor(1) != 1 {
+		t.Error("idle core factors must be 1")
+	}
+	if s := d.Stats(); s.Total() != 0 || s.RowFactor != 1 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+func TestNewDRAMValidation(t *testing.T) {
+	if _, err := NewDRAM(DRAMConfig{Policy: "lifo"}, testLink(), 1); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := NewDRAM(DRAMConfig{RowBytes: 100}, testLink(), 1); err == nil {
+		t.Error("non-line-multiple row size accepted")
+	}
+	if _, err := NewDRAM(DRAMConfig{}, testLink(), 0); err == nil {
+		t.Error("zero cores accepted")
+	}
+}
+
+// ATLAS must favour the core with the least attained service: the light
+// core's factor cannot exceed the heavy core's.
+func TestATLASFavoursLightCore(t *testing.T) {
+	d, err := NewDRAM(DRAMConfig{Policy: PolicyATLAS}, testLink(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := lcg(3)
+	for i := 0; i < 6000; i++ {
+		core := 0
+		if i%8 == 0 {
+			core = 1 // light core: 1/8 of the traffic
+		}
+		d.Record(g.next()%(1<<16), core, Read)
+	}
+	heavy, light := d.CoreFactor(0), d.CoreFactor(1)
+	if light > heavy {
+		t.Errorf("ATLAS light-core factor %v > heavy-core %v", light, heavy)
+	}
+}

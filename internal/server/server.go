@@ -32,6 +32,7 @@ import (
 	"webmm/internal/budget"
 	"webmm/internal/experiments"
 	"webmm/internal/machine"
+	"webmm/internal/memsys"
 	"webmm/internal/telemetry"
 	"webmm/internal/workload"
 )
@@ -324,6 +325,10 @@ type runRequest struct {
 	Workload string `json:"workload,omitempty"`
 	Cores    int    `json:"cores,omitempty"`
 	Ruby     bool   `json:"ruby,omitempty"`
+	// MemSched names a DRAM scheduling policy (memsys registry); the cell
+	// then runs over the banked DRAM model instead of the paper's bus.
+	// Empty keeps the bus.
+	MemSched string `json:"memsched,omitempty"`
 	// RestartEvery is the Ruby restart period in the paper's full-scale
 	// transactions (0 = never); it is rescaled exactly like the figures.
 	RestartEvery int `json:"restart_every,omitempty"`
@@ -492,6 +497,11 @@ func (s *Server) buildJob(ctx context.Context, req runRequest) (*job, error) {
 	if _, err := apprt.AllocCodeSize(req.Alloc); err != nil {
 		return nil, err
 	}
+	if req.MemSched != "" {
+		if _, err := memsys.PolicyByName(memsys.PolicyName(req.MemSched)); err != nil {
+			return nil, err
+		}
+	}
 	restart := 0
 	if req.Ruby {
 		restart = r.RubyRestartPeriod(req.RestartEvery)
@@ -499,6 +509,7 @@ func (s *Server) buildJob(ctx context.Context, req runRequest) (*job, error) {
 	j.cell = experiments.Cell{
 		Platform: req.Platform, Alloc: req.Alloc, Workload: req.Workload,
 		Cores: req.Cores, Ruby: req.Ruby, RestartEvery: restart,
+		MemSched: req.MemSched,
 	}
 	return j, nil
 }

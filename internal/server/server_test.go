@@ -310,6 +310,7 @@ func TestServeBadRequests(t *testing.T) {
 		`{"platform":"vax","alloc":"default","workload":"phpBB"}`,
 		`{"alloc":"default","workload":"phpBB","scale":3}`,
 		`{"alloc":"default","workload":"phpBB","faults":"frobnicate:1"}`,
+		`{"alloc":"default","workload":"phpBB","memsched":"fifo"}`,
 		`{"alloc":"default","workload":"phpBB","unknown_field":1}`,
 	} {
 		resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
@@ -331,6 +332,40 @@ func TestServeBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /run: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServeMemSched: a request naming a DRAM scheduling policy runs the cell
+// over the banked memory model and its result carries the DRAM stats; the
+// same cell without the field stays on the bus (nil stats).
+func TestServeMemSched(t *testing.T) {
+	s, err := New(Config{Jobs: 1, Sim: testSim()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, lines := postRun(t, ts.URL,
+		`{"alloc":"ddmalloc","workload":"phpBB","cores":2,"memsched":"frfcfs"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	dram := resultOf(t, lines)
+	if dram.Failed {
+		t.Fatal("DRAM cell failed")
+	}
+	if dram.Res.Mem == nil || dram.Res.Mem.Policy != "frfcfs" || dram.Res.Mem.Total() == 0 {
+		t.Fatalf("DRAM stats missing from served result: %+v", dram.Res.Mem)
+	}
+
+	code, lines = postRun(t, ts.URL, `{"alloc":"ddmalloc","workload":"phpBB","cores":2}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if bus := resultOf(t, lines); bus.Res.Mem != nil {
+		t.Fatalf("bus cell carries memory-system stats: %+v", bus.Res.Mem)
 	}
 }
 

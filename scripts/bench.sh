@@ -4,10 +4,11 @@
 #
 # Usage: scripts/bench.sh [reps]
 #
-# Three benchmarks are tracked:
+# Four benchmarks are tracked:
 #   fig1_full    BenchmarkFig1Cell        single Figure-1 cell, full fidelity
 #   fig1_sampled BenchmarkFig1CellSampled long-measure cell, sampled fidelity
 #   l2_heavy     BenchmarkCellL2Heavy     8-core Niagara cell (L2-bound)
+#   dram_cell    BenchmarkDRAMCell        fig1_full over the DRAM model (frfcfs)
 #
 # Each is run `reps` times (default 5) with -benchmem under GOMAXPROCS=1
 # (the repo's convention for committed numbers) and the minimum ns/op run is
@@ -54,6 +55,25 @@ measure() {
   rm -f "$tmp"
 }
 
+# block_new <key> <bench> <note> <post "ns bytes allocs"> [,]
+# For benchmarks introduced in the current change: no paired pre exists, so
+# the entry records only the post numbers and a note naming its reference.
+block_new() {
+  local key="$1" bench="$2" note="$3" comma="${5:-}"
+  read -r ns bytes allocs <<<"$4"
+  cat <<EOF
+    "$key": {
+      "benchmark": "$bench",
+      "note": "$note",
+      "post": {
+        "ns_per_op": $ns,
+        "bytes_per_op": $bytes,
+        "allocs_per_op": $allocs
+      }
+    }$comma
+EOF
+}
+
 # block <key> <bench> <pre "ns bytes allocs"> <post "ns bytes allocs"> [,]
 block() {
   local key="$1" bench="$2" comma="${5:-}"
@@ -83,6 +103,7 @@ EOF
 full=$(measure BenchmarkFig1Cell)
 sampled=$(measure BenchmarkFig1CellSampled)
 l2=$(measure BenchmarkCellL2Heavy)
+dram=$(measure BenchmarkDRAMCell)
 
 {
   cat <<EOF
@@ -91,11 +112,16 @@ l2=$(measure BenchmarkCellL2Heavy)
   "cells": {
     "fig1_full": "xeon/default/MediaWiki(rw)/8 cores, scale 64, warmup 1, measure 2",
     "fig1_sampled": "xeon/default/MediaWiki(rw)/8 cores, scale 32, warmup 1, measure 64, fidelity sampled",
-    "l2_heavy": "niagara/default/MediaWiki(rw)/8 cores, scale 64, warmup 1, measure 2"
+    "l2_heavy": "niagara/default/MediaWiki(rw)/8 cores, scale 64, warmup 1, measure 2",
+    "dram_cell": "fig1_full with memsched frfcfs: the banked DRAM model under the same cell"
   },
   "benchmarks": {
 EOF
   block fig1_full BenchmarkFig1Cell "$pre_fig1_full" "$full" ,
+  read -r full_ns _ <<<"$full"
+  read -r dram_ns _ <<<"$dram"
+  dram_note="new in the memsys change: no pre; the reference is fig1_full.post measured in the same session (${full_ns} ns), the delta is the DRAM recording + window-replay overhead"
+  block_new dram_cell BenchmarkDRAMCell "$dram_note" "$dram" ,
   block fig1_sampled BenchmarkFig1CellSampled "$pre_fig1_sampled" "$sampled" ,
   block l2_heavy BenchmarkCellL2Heavy "$pre_l2_heavy" "$l2"
   cat <<EOF

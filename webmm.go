@@ -45,6 +45,7 @@ import (
 	"webmm/internal/heap"
 	"webmm/internal/machine"
 	"webmm/internal/mem"
+	"webmm/internal/memsys"
 	"webmm/internal/report"
 	"webmm/internal/sim"
 	"webmm/internal/telemetry"
@@ -164,10 +165,14 @@ const (
 	ExpFig10  ExperimentName = "fig10"
 	ExpFig11  ExperimentName = "fig11"
 	ExpFig12  ExperimentName = "fig12"
-	// ExpHeapLimit is the study's extension experiment: throughput vs
-	// per-stream heap limit for the PHP allocators, exposing each
-	// allocator's memory floor.
+	// ExpHeapLimit is a study extension: throughput vs per-stream heap
+	// limit for the PHP allocators, exposing each allocator's memory
+	// floor.
 	ExpHeapLimit ExperimentName = "heaplimit"
+	// ExpMemSched is a study extension: allocator × DRAM scheduling
+	// policy × core count, reporting throughput against the paper's bus
+	// model and the row-buffer hit/conflict split.
+	ExpMemSched ExperimentName = "memsched"
 )
 
 // ExperimentInfo describes one registered experiment.
@@ -192,6 +197,36 @@ func Experiments() []ExperimentInfo {
 			Name: ExperimentName(d.Name), Ref: d.Ref, Doc: d.Doc, Example: d.Example,
 			Extra: d.Extra,
 		})
+	}
+	return out
+}
+
+// MemSchedPolicyName names a DRAM scheduling policy of the memory-system
+// registry (internal/memsys).
+type MemSchedPolicyName = memsys.PolicyName
+
+// The registered DRAM scheduling policies.
+const (
+	MemSchedFRFCFS = memsys.PolicyFRFCFS
+	MemSchedATLAS  = memsys.PolicyATLAS
+	MemSchedTCM    = memsys.PolicyTCM
+	MemSchedBLISS  = memsys.PolicyBLISS
+)
+
+// MemSchedPolicyInfo describes one registered DRAM scheduling policy.
+type MemSchedPolicyInfo struct {
+	Name MemSchedPolicyName
+	// Ref cites the paper the policy comes from.
+	Ref string
+	Doc string
+}
+
+// MemSchedPolicies returns the registered DRAM scheduling policies in
+// presentation order.
+func MemSchedPolicies() []MemSchedPolicyInfo {
+	var out []MemSchedPolicyInfo
+	for _, d := range memsys.Policies() {
+		out = append(out, MemSchedPolicyInfo{Name: d.Name, Ref: d.Ref, Doc: d.Doc})
 	}
 	return out
 }
@@ -279,6 +314,7 @@ func (s *Sandbox) Result() MachineResult { return s.m.Solve() }
 type Study struct {
 	r        *experiments.Runner
 	platform string
+	memsched string
 	jobs     int
 	tel      *Telemetry
 	budget   *budget.Controller // nil without WithGlobalBudget
@@ -292,6 +328,7 @@ type StudyOption func(*studyConfig) error
 type studyConfig struct {
 	cfg      experiments.Config
 	platform string
+	memsched string
 	jobs     int
 	cacheDir string
 	faults   string
@@ -310,6 +347,37 @@ func WithPlatform(name string) StudyOption {
 			return err
 		}
 		c.platform = name
+		return nil
+	}
+}
+
+// WithMemorySystem sets the default memory system for Cell and
+// CompareAllocators: "bus" (the paper's shared-bus queueing model, the
+// default) or "dram" (the bank-level model of internal/memsys under its
+// default scheduling policy). Use WithMemSchedPolicy to pick a specific
+// policy.
+func WithMemorySystem(name string) StudyOption {
+	return func(c *studyConfig) error {
+		switch name {
+		case "bus":
+			c.memsched = ""
+		case "dram":
+			c.memsched = string(memsys.DefaultPolicy)
+		default:
+			return fmt.Errorf("webmm: unknown memory system %q (valid: [bus dram])", name)
+		}
+		return nil
+	}
+}
+
+// WithMemSchedPolicy sets the default memory system to the DRAM model under
+// the named scheduling policy (see MemSchedPolicies for the registry).
+func WithMemSchedPolicy(name MemSchedPolicyName) StudyOption {
+	return func(c *studyConfig) error {
+		if _, err := memsys.PolicyByName(name); err != nil {
+			return err
+		}
+		c.memsched = string(name)
 		return nil
 	}
 }
@@ -468,6 +536,7 @@ func NewStudy(opts ...StudyOption) (*Study, error) {
 	s := &Study{
 		r:        r,
 		platform: c.platform,
+		memsched: c.memsched,
 		jobs:     c.jobs,
 		tel:      c.tel,
 		started:  time.Now(),
@@ -500,6 +569,11 @@ type CellSpec struct {
 	// budget below the allocator's memory floor fails the cell the same way
 	// every time, and the outcome is memoized and cached.
 	Budget uint64
+	// MemSched selects the cell's memory system: empty inherits the
+	// study's default (WithMemorySystem / WithMemSchedPolicy), "bus"
+	// forces the paper's bus model, and a policy name from
+	// MemSchedPolicies runs the DRAM model under that policy.
+	MemSched string
 }
 
 // CellOutcome is everything one simulated cell reports.
@@ -529,10 +603,21 @@ func (s *Study) Cell(spec CellSpec) (CellOutcome, error) {
 	if spec.Ruby {
 		restart = s.r.RubyRestartPeriod(spec.RestartEvery)
 	}
+	memsched := spec.MemSched
+	switch memsched {
+	case "":
+		memsched = s.memsched
+	case "bus":
+		memsched = ""
+	default:
+		if _, err := memsys.PolicyByName(memsys.PolicyName(memsched)); err != nil {
+			return CellOutcome{}, err
+		}
+	}
 	cell := experiments.Cell{
 		Platform: spec.Platform, Alloc: string(spec.Alloc), Workload: spec.Workload,
 		Cores: spec.Cores, Ruby: spec.Ruby, RestartEvery: restart,
-		Budget: spec.Budget,
+		Budget: spec.Budget, MemSched: memsched,
 	}
 	cr := s.r.Run(cell)
 	if cr.Failed {
@@ -624,7 +709,10 @@ func (s *Study) Close() error {
 }
 
 // ---------------------------------------------------------------------------
-// Deprecated surface, kept so pre-builder call sites compile unchanged.
+// Deprecated surface. The PR-4 study shims (NewStudyFromConfig, Compare,
+// RunCell, RunRubyCell) have been removed — build a Study with NewStudy and
+// use Cell/CompareAllocators. The raw configuration type remains for
+// callers that inspect defaults.
 
 // StudyConfig controls simulation scale and measurement length; see
 // internal/experiments.Config.
@@ -636,53 +724,6 @@ type StudyConfig = experiments.Config
 //
 // Deprecated: NewStudy() with no options is the same configuration.
 func DefaultStudyConfig() StudyConfig { return experiments.DefaultConfig() }
-
-// NewStudyFromConfig builds a study runner from a raw configuration.
-//
-// Deprecated: use NewStudy with options.
-func NewStudyFromConfig(cfg StudyConfig) *Study {
-	return &Study{r: experiments.NewRunner(cfg), platform: "xeon", jobs: 1, started: time.Now()}
-}
-
-// Compare runs one workload on one platform across the PHP-study allocators
-// at the given core count and returns throughput relative to the default
-// allocator, keyed by allocator name.
-//
-// Deprecated: use CompareAllocators (typed keys, error reporting).
-func (s *Study) Compare(platform, workloadName string, cores int) map[string]float64 {
-	base := s.r.Run(experiments.Cell{Platform: platform, Alloc: "default",
-		Workload: workloadName, Cores: cores})
-	out := make(map[string]float64)
-	for _, alloc := range experiments.PHPAllocators() {
-		cr := s.r.Run(experiments.Cell{Platform: platform, Alloc: alloc,
-			Workload: workloadName, Cores: cores})
-		if base.Res.Throughput > 0 {
-			out[alloc] = cr.Res.Throughput / base.Res.Throughput
-		}
-	}
-	return out
-}
-
-// RunCell simulates one (platform, allocator, workload, cores) cell and
-// returns the solved machine result.
-//
-// Deprecated: use Cell, which also reports footprint, allocator calls, and
-// failures.
-func (s *Study) RunCell(platform, alloc, workloadName string, cores int) MachineResult {
-	return s.r.Run(experiments.Cell{Platform: platform, Alloc: alloc,
-		Workload: workloadName, Cores: cores}).Res
-}
-
-// RunRubyCell simulates one Ruby-study cell (Rails on 8 Xeon cores with the
-// given allocator and restart period in full-scale transactions; 0 disables
-// restarts).
-//
-// Deprecated: use Cell with Ruby set.
-func (s *Study) RunRubyCell(alloc string, restartEvery int) MachineResult {
-	return s.r.Run(experiments.Cell{Platform: "xeon", Alloc: alloc,
-		Workload: workload.Rails().Name, Cores: 8,
-		Ruby: true, RestartEvery: restartEvery}).Res
-}
 
 // NewReportTable creates an aligned text/CSV table (re-exported for
 // examples and tools building custom reports).

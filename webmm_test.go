@@ -112,22 +112,6 @@ func TestStudyCompare(t *testing.T) {
 			t.Errorf("%s relative throughput %v", name, v)
 		}
 	}
-
-	// The deprecated surface must stay in working order and agree.
-	old := webmm.NewStudyFromConfig(studyCfg64())
-	oldRel := old.Compare("xeon", "phpBB", 1)
-	for name, v := range rel {
-		if oldRel[string(name)] != v {
-			t.Errorf("deprecated Compare disagrees for %s: %v vs %v", name, oldRel[string(name)], v)
-		}
-	}
-}
-
-func studyCfg64() webmm.StudyConfig {
-	cfg := webmm.DefaultStudyConfig()
-	cfg.Scale = 64
-	cfg.Warmup, cfg.Measure = 1, 1
-	return cfg
 }
 
 func TestStudyOptionValidation(t *testing.T) {
@@ -142,6 +126,56 @@ func TestStudyOptionValidation(t *testing.T) {
 	}
 	if _, err := webmm.NewStudy(webmm.WithRounds(0, 0)); err == nil {
 		t.Error("WithRounds(0,0) accepted; want at least one measured round")
+	}
+	if _, err := webmm.NewStudy(webmm.WithMemorySystem("hbm")); err == nil {
+		t.Error("WithMemorySystem(hbm) accepted; want unknown-memory-system error")
+	}
+	if _, err := webmm.NewStudy(webmm.WithMemSchedPolicy("fifo")); err == nil {
+		t.Error("WithMemSchedPolicy(fifo) accepted; want unknown-policy error")
+	}
+}
+
+func TestStudyMemSchedCell(t *testing.T) {
+	study, err := webmm.NewStudy(
+		webmm.WithScale(1024),
+		webmm.WithRounds(1, 1),
+		webmm.WithJobs(1),
+		webmm.WithMemSchedPolicy(webmm.MemSchedFRFCFS),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := webmm.CellSpec{Alloc: webmm.AllocRegion, Workload: "phpBB", Cores: 2}
+
+	// The study default (frfcfs) applies when the spec is silent...
+	dram, err := study.Cell(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dram.Machine.Mem == nil || dram.Machine.Mem.Policy != "frfcfs" {
+		t.Fatalf("DRAM cell carries no frfcfs stats: %+v", dram.Machine.Mem)
+	}
+	if total := dram.Machine.Mem.Total(); total == 0 {
+		t.Error("DRAM cell recorded no transactions")
+	}
+
+	// ...and "bus" opts one cell back out.
+	spec.MemSched = "bus"
+	bus, err := study.Cell(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bus.Machine.Mem != nil {
+		t.Fatalf("bus cell carries memory-system stats: %+v", bus.Machine.Mem)
+	}
+
+	spec.MemSched = "fifo"
+	if _, err := study.Cell(spec); err == nil {
+		t.Error("Cell with unknown policy accepted; want registry error")
+	}
+
+	if got := webmm.MemSchedPolicies(); len(got) != 4 || got[0].Name != webmm.MemSchedFRFCFS {
+		t.Errorf("MemSchedPolicies() = %+v", got)
 	}
 }
 
@@ -205,18 +239,19 @@ func TestRegistriesExposed(t *testing.T) {
 	}
 
 	exps := webmm.Experiments()
-	if len(exps) != 13 {
-		t.Fatalf("got %d experiments, want the paper's 12 plus the heap-limit extension", len(exps))
+	if len(exps) != 14 {
+		t.Fatalf("got %d experiments, want the paper's 12 plus the heap-limit and memsched extensions", len(exps))
 	}
-	if exps[0].Name != webmm.ExpFig1 || exps[len(exps)-1].Name != webmm.ExpHeapLimit {
+	if exps[0].Name != webmm.ExpFig1 || exps[len(exps)-1].Name != webmm.ExpMemSched {
 		t.Errorf("experiment order wrong: first %s last %s", exps[0].Name, exps[len(exps)-1].Name)
 	}
 	for _, e := range exps {
 		if e.Ref == "" || e.Doc == "" || e.Example == "" {
 			t.Errorf("experiment %s missing ref, doc, or example", e.Name)
 		}
-		if e.Extra != (e.Name == webmm.ExpHeapLimit) {
-			t.Errorf("experiment %s Extra = %v; only the extension should be extra", e.Name, e.Extra)
+		extra := e.Name == webmm.ExpHeapLimit || e.Name == webmm.ExpMemSched
+		if e.Extra != extra {
+			t.Errorf("experiment %s Extra = %v; only the extensions should be extra", e.Name, e.Extra)
 		}
 	}
 }
