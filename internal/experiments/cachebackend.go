@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// CacheBackend is the storage seam under CellCache: an opaque blob store
+// keyed by the cache's content-addressed hex keys. The cell-level contract
+// — version/config/cell verification, Failed-result rejection, corrupt-
+// entry self-healing — lives above the seam in CellCache, so every backend
+// behaves identically (see the conformance suite in cachebackend_test.go);
+// a backend only moves bytes.
+//
+// All methods are best-effort, mirroring the original disk cache: a
+// backend that is down or full makes every Load a miss and every
+// Store/Delete a no-op, and a run must never fail because its cache did.
+// Implementations must be safe for concurrent use.
+type CacheBackend interface {
+	// Load returns the bytes stored under key, or ok=false on a miss.
+	Load(key string) (data []byte, ok bool)
+	// Store persists data under key, replacing any previous entry.
+	// Concurrent stores of the same key must each leave a complete entry
+	// (last writer wins); readers never observe a partial one.
+	Store(key string, data []byte)
+	// Delete removes the entry for key (no-op when absent). CellCache
+	// calls it to self-heal entries that fail verification.
+	Delete(key string)
+}
+
+// maxCacheEntryBytes bounds one cache entry in the HTTP backend and
+// handler. Cell entries are a few KB of JSON; 8 MiB is a generous ceiling
+// that still stops an errant client from streaming gigabytes at the store.
+const maxCacheEntryBytes = 8 << 20
+
+// ---------------------------------------------------------------------------
+// Disk backend: the original on-disk layout (dir/<key>.json), unchanged so
+// existing cache directories stay valid across the refactor.
+
+type diskBackend struct{ dir string }
+
+// NewDiskBackend opens (creating if needed) a blob store rooted at dir.
+func NewDiskBackend(dir string) (CacheBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &diskBackend{dir: dir}, nil
+}
+
+func (d *diskBackend) path(key string) string {
+	return filepath.Join(d.dir, key+".json")
+}
+
+func (d *diskBackend) Load(key string) ([]byte, bool) {
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Store writes via CreateTemp + rename: every writer gets its own scratch
+// file, so two processes (or two Runners in one) storing the same key never
+// interleave writes — last rename wins, and both rename complete entries.
+func (d *diskBackend) Store(key string, data []byte) {
+	f, err := os.CreateTemp(d.dir, "cell-*.tmp")
+	if err != nil {
+		return
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	if cerr := f.Close(); werr != nil || cerr != nil {
+		_ = os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, d.path(key)); err != nil {
+		_ = os.Remove(tmp)
+	}
+}
+
+func (d *diskBackend) Delete(key string) { _ = os.Remove(d.path(key)) }
+
+// ---------------------------------------------------------------------------
+// Memory backend: for tests and cache-serving instances without a disk.
+
+type memBackend struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMemBackend returns an in-process blob store. Entries are copied on
+// both Store and Load so callers can never alias the stored bytes.
+func NewMemBackend() CacheBackend {
+	return &memBackend{m: make(map[string][]byte)}
+}
+
+func (b *memBackend) Load(key string) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	data, ok := b.m[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, true
+}
+
+func (b *memBackend) Store(key string, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.mu.Lock()
+	b.m[key] = cp
+	b.mu.Unlock()
+}
+
+func (b *memBackend) Delete(key string) {
+	b.mu.Lock()
+	delete(b.m, key)
+	b.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// HTTP backend + handler: the fleet-shared remote store. A webmm serve
+// instance mounts CacheHandler over its local backend at /cache/, and every
+// other instance points an HTTP backend at it, so one content-addressed
+// result store serves the whole fleet. Client and server live side by side
+// here because they are two halves of one wire protocol:
+//
+//	GET    /cache/{key} -> 200 + entry bytes | 404
+//	PUT    /cache/{key} -> 204 (entry replaced)
+//	DELETE /cache/{key} -> 204 (entry gone)
+
+type httpBackend struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPBackend returns a backend that stores entries on the webmm
+// instance at base (e.g. "http://cache-host:8080"), which must serve the
+// /cache/ route. Failures degrade to misses, never errors: a fleet whose
+// cache host is down just re-simulates.
+func NewHTTPBackend(base string) CacheBackend {
+	return &httpBackend{
+		base:   strings.TrimRight(base, "/"),
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+func (b *httpBackend) url(key string) string { return b.base + "/cache/" + key }
+
+func (b *httpBackend) Load(key string) ([]byte, bool) {
+	resp, err := b.client.Get(b.url(key))
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxCacheEntryBytes))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+func (b *httpBackend) Store(key string, data []byte) {
+	req, err := http.NewRequest(http.MethodPut, b.url(key), strings.NewReader(string(data)))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+func (b *httpBackend) Delete(key string) {
+	req, err := http.NewRequest(http.MethodDelete, b.url(key), nil)
+	if err != nil {
+		return
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// validCacheKey accepts exactly the keys CellCache emits: non-empty
+// lowercase hex, bounded length. Anything else is rejected before it can
+// reach a backend (a disk backend turns keys into file names).
+func validCacheKey(key string) bool {
+	if len(key) == 0 || len(key) > 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// CacheHandler serves be over the /cache/{key} wire protocol above. A nil
+// backend yields 503 for every request, so a server without a cache can
+// still mount the route and answer honestly.
+func CacheHandler(be CacheBackend) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if be == nil {
+			http.Error(w, "no cache configured", http.StatusServiceUnavailable)
+			return
+		}
+		key := r.URL.Path
+		if i := strings.LastIndexByte(key, '/'); i >= 0 {
+			key = key[i+1:]
+		}
+		if !validCacheKey(key) {
+			http.Error(w, "bad cache key", http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			data, ok := be.Load(key)
+			if !ok {
+				http.Error(w, "not found", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(data)
+		case http.MethodPut:
+			data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCacheEntryBytes))
+			if err != nil {
+				http.Error(w, "entry too large", http.StatusRequestEntityTooLarge)
+				return
+			}
+			be.Store(key, data)
+			w.WriteHeader(http.StatusNoContent)
+		case http.MethodDelete:
+			be.Delete(key)
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "GET, PUT or DELETE", http.StatusMethodNotAllowed)
+		}
+	})
+}

@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// forEachBackend runs one conformance case against every CacheBackend the
+// repo ships: the original disk layout, the in-memory store, and the HTTP
+// remote backend layered over each of them (a live httptest server mounting
+// CacheHandler, exactly how a fleet shares one store). The cell-level
+// guarantees live in CellCache, above the seam, so every backend must pass
+// every case identically.
+func forEachBackend(t *testing.T, fn func(t *testing.T, be CacheBackend)) {
+	t.Helper()
+	remote := func(inner CacheBackend) (CacheBackend, func()) {
+		mux := http.NewServeMux()
+		mux.Handle("/cache/", CacheHandler(inner))
+		srv := httptest.NewServer(mux)
+		return NewHTTPBackend(srv.URL), srv.Close
+	}
+	t.Run("disk", func(t *testing.T) {
+		be, err := NewDiskBackend(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(t, be)
+	})
+	t.Run("mem", func(t *testing.T) { fn(t, NewMemBackend()) })
+	t.Run("http-disk", func(t *testing.T) {
+		inner, err := NewDiskBackend(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		be, stop := remote(inner)
+		defer stop()
+		fn(t, be)
+	})
+	t.Run("http-mem", func(t *testing.T) {
+		be, stop := remote(NewMemBackend())
+		defer stop()
+		fn(t, be)
+	})
+}
+
+func conformanceFixture() (Config, Cell, CellResult) {
+	cfg := DefaultConfig()
+	cell := Cell{Platform: "xeon", Alloc: "ddmalloc", Workload: "phpBB", Cores: 8}
+	res := CellResult{Cell: cell, Footprint: 4242.5, TxnsPerStream: 3}
+	return cfg, cell, res
+}
+
+func TestCacheBackendRoundtrip(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, be CacheBackend) {
+		cc := NewCellCacheOn(be)
+		cfg, cell, res := conformanceFixture()
+		if _, ok := cc.load(cfg, cell); ok {
+			t.Fatal("empty cache reported a hit")
+		}
+		cc.store(cfg, cell, res)
+		got, ok := cc.load(cfg, cell)
+		if !ok {
+			t.Fatal("stored entry missed")
+		}
+		if !reflect.DeepEqual(got, res) {
+			t.Fatalf("loaded %+v, stored %+v", got, res)
+		}
+		// Any key ingredient changing must miss: the entry is addressed by
+		// (version, Config, Cell), not just the cell.
+		other := cfg
+		other.Seed++
+		if _, ok := cc.load(other, cell); ok {
+			t.Fatal("entry for a different config hit")
+		}
+		cc.be.Delete(cc.key(cfg, cell))
+		if _, ok := cc.load(cfg, cell); ok {
+			t.Fatal("deleted entry still hit")
+		}
+	})
+}
+
+func TestCacheBackendVersionMismatchSelfHeals(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, be CacheBackend) {
+		cc := NewCellCacheOn(be)
+		cfg, cell, res := conformanceFixture()
+		// Plant an otherwise-valid entry claiming a stale format version at
+		// the current key (simulating a hash collision across versions or a
+		// corrupted version field).
+		data, err := json.Marshal(cellEntry{
+			Version: cellCacheVersion + 1, Cfg: cfg, Cell: cell, Result: res,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := cc.key(cfg, cell)
+		be.Store(key, data)
+		if _, ok := cc.load(cfg, cell); ok {
+			t.Fatal("stale-version entry served")
+		}
+		if _, ok := be.Load(key); ok {
+			t.Fatal("stale-version entry not self-healed away")
+		}
+	})
+}
+
+func TestCacheBackendCorruptEntrySelfHeals(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, be CacheBackend) {
+		cc := NewCellCacheOn(be)
+		cfg, cell, _ := conformanceFixture()
+		cc.storeCorrupt(cfg, cell)
+		key := cc.key(cfg, cell)
+		if _, ok := be.Load(key); !ok {
+			t.Fatal("corrupt entry was not written")
+		}
+		if _, ok := cc.load(cfg, cell); ok {
+			t.Fatal("corrupt entry served")
+		}
+		if _, ok := be.Load(key); ok {
+			t.Fatal("corrupt entry not self-healed away")
+		}
+	})
+}
+
+func TestCacheBackendRejectsFailedResults(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, be CacheBackend) {
+		cc := NewCellCacheOn(be)
+		cfg, cell, res := conformanceFixture()
+		// Outbound: a Failed result is refused at store time — a failure can
+		// be environmental and must never masquerade as the cell's answer.
+		res.Failed = true
+		cc.store(cfg, cell, res)
+		key := cc.key(cfg, cell)
+		if _, ok := be.Load(key); ok {
+			t.Fatal("Failed result was stored")
+		}
+		// Inbound: a Failed entry planted by an older writer (or another
+		// fleet member) is rejected on load and deleted.
+		data, err := json.Marshal(cellEntry{
+			Version: cellCacheVersion, Cfg: cfg, Cell: cell, Result: res,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		be.Store(key, data)
+		if _, ok := cc.load(cfg, cell); ok {
+			t.Fatal("Failed entry served")
+		}
+		if _, ok := be.Load(key); ok {
+			t.Fatal("Failed entry not self-healed away")
+		}
+	})
+}
+
+func TestCacheBackendConcurrentStore(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, be CacheBackend) {
+		cc := NewCellCacheOn(be)
+		cfg, cell, res := conformanceFixture()
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cc.store(cfg, cell, res)
+			}()
+		}
+		wg.Wait()
+		got, ok := cc.load(cfg, cell)
+		if !ok {
+			t.Fatal("entry missing after concurrent stores")
+		}
+		if !reflect.DeepEqual(got, res) {
+			t.Fatalf("loaded %+v after concurrent stores, want %+v", got, res)
+		}
+	})
+}
+
+func TestValidCacheKey(t *testing.T) {
+	for _, tc := range []struct {
+		key string
+		ok  bool
+	}{
+		{"0123456789abcdef0123456789abcdef", true},
+		{"ab", true},
+		{"", false},
+		{"ABCDEF", false},                      // upper-case hex is never emitted
+		{"..", false},                          // path traversal
+		{"0123456789abcdexyz", false},          // non-hex
+		{strings.Repeat("a", 64), true},        // max length
+		{strings.Repeat("a", 65), false},       // too long
+		{"0123456789abcdef/0123456789", false}, // embedded separator
+		{"0123456789abcdef.json", false},       // extension injection
+	} {
+		if got := validCacheKey(tc.key); got != tc.ok {
+			t.Errorf("validCacheKey(%q) = %v, want %v", tc.key, got, tc.ok)
+		}
+	}
+}
+
+func TestCacheHandlerProtocol(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.Handle("/cache/", CacheHandler(NewMemBackend()))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	do := func(method, key string, body string) *http.Response {
+		t.Helper()
+		var rd *strings.Reader
+		if body == "" {
+			rd = strings.NewReader("")
+		} else {
+			rd = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, srv.URL+"/cache/"+key, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := do(http.MethodGet, "abcd", ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET miss: HTTP %d, want 404", resp.StatusCode)
+	}
+	if resp := do(http.MethodPut, "abcd", `{"x":1}`); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT: HTTP %d, want 204", resp.StatusCode)
+	}
+	if resp := do(http.MethodGet, "abcd", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET hit: HTTP %d, want 200", resp.StatusCode)
+	}
+	if resp := do(http.MethodDelete, "abcd", ""); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE: HTTP %d, want 204", resp.StatusCode)
+	}
+	if resp := do(http.MethodGet, "abcd", ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET after DELETE: HTTP %d, want 404", resp.StatusCode)
+	}
+	if resp := do(http.MethodPost, "abcd", "x"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST: HTTP %d, want 405", resp.StatusCode)
+	}
+	if resp := do(http.MethodGet, "NOT-HEX", ""); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad key: HTTP %d, want 400", resp.StatusCode)
+	}
+	if resp := do(http.MethodPut, "abcd", strings.Repeat("x", maxCacheEntryBytes+1)); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized PUT: HTTP %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestCacheHandlerNilBackend(t *testing.T) {
+	rec := httptest.NewRecorder()
+	CacheHandler(nil).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/cache/abcd", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("nil backend: HTTP %d, want 503", rec.Code)
+	}
+}
+
+// TestDiskLayoutUnchanged pins the on-disk format to the pre-refactor
+// layout (dir/<key>.json, raw entry JSON) so cache directories written
+// before the CacheBackend seam keep hitting after it.
+func TestDiskLayoutUnchanged(t *testing.T) {
+	dir := t.TempDir()
+	be, err := NewDiskBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := NewCellCacheOn(be)
+	cfg, cell, res := conformanceFixture()
+	cc.store(cfg, cell, res)
+	key := cc.key(cfg, cell)
+	path := fmt.Sprintf("%s/%s.json", dir, key)
+	if _, ok := be.Load(key); !ok {
+		t.Fatalf("no entry at %s", path)
+	}
+	// A second CellCache opened the historical way must hit the entry.
+	cc2, err := NewCellCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cc2.load(cfg, cell); !ok {
+		t.Fatal("reopened disk cache missed a stored entry")
+	}
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The Runner.Exec seam is how a fleet coordinator swaps local simulation
+// for remote dispatch while keeping the runner's memo, cell cache, and
+// singleflight. These tests pin that contract without any HTTP involved.
+
+func execFixture() (Cell, CellResult) {
+	c := Cell{Platform: "xeon", Alloc: "ddmalloc", Workload: "phpBB", Cores: 8}
+	return c, CellResult{Cell: c, Footprint: 123.25, TxnsPerStream: 3}
+}
+
+// TestExecSingleflightCollapses: concurrent RunContext calls for one cell
+// must produce exactly one Exec call — the fleet-wide request-coalescing
+// guarantee — and later calls must be served from the memo.
+func TestExecSingleflightCollapses(t *testing.T) {
+	cell, want := execFixture()
+	var calls atomic.Int64
+	r := NewRunner(DefaultConfig())
+	r.Exec = func(ctx context.Context, c Cell) (CellResult, error) {
+		calls.Add(1)
+		time.Sleep(50 * time.Millisecond) // hold the flight open for the herd
+		return want, nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := r.RunContext(context.Background(), cell); got != want {
+				t.Errorf("got %+v, want %+v", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("8 concurrent runs made %d Exec calls, want 1", n)
+	}
+	if got := r.Run(cell); got != want {
+		t.Fatalf("memoized run got %+v, want %+v", got, want)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("memoized run re-executed (calls %d)", n)
+	}
+}
+
+// TestExecTransientNotMemoized: an ErrTransient failure (unreachable shard,
+// dropped stream) is environmental — recorded, but the next call gets a
+// fresh attempt instead of the poisoned verdict.
+func TestExecTransientNotMemoized(t *testing.T) {
+	cell, want := execFixture()
+	var calls atomic.Int64
+	r := NewRunner(DefaultConfig())
+	r.Exec = func(ctx context.Context, c Cell) (CellResult, error) {
+		if calls.Add(1) == 1 {
+			return CellResult{}, fmt.Errorf("%w: worker unreachable", ErrTransient)
+		}
+		return want, nil
+	}
+	if res := r.Run(cell); !res.Failed {
+		t.Fatal("transient failure did not fail the first run")
+	}
+	if fails := r.Failures(); len(fails) != 1 || !errors.Is(fails[0].Err, ErrTransient) {
+		t.Fatalf("failures = %v, want one ErrTransient", fails)
+	}
+	if res := r.Run(cell); res.Failed {
+		t.Fatal("second run still failed: transient verdict was memoized")
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("Exec called %d times, want 2 (retry after transient)", n)
+	}
+}
+
+// TestExecDeterministicFailureMemoized: a remote failure that is the
+// cell's own (not transient, not cancellation) memoizes like a local
+// simulation failure — retrying it elsewhere would fail the same way.
+func TestExecDeterministicFailureMemoized(t *testing.T) {
+	cell, _ := execFixture()
+	var calls atomic.Int64
+	r := NewRunner(DefaultConfig())
+	r.Exec = func(ctx context.Context, c Cell) (CellResult, error) {
+		calls.Add(1)
+		return CellResult{}, errors.New("cell panicked on the worker")
+	}
+	if res := r.Run(cell); !res.Failed {
+		t.Fatal("deterministic failure did not fail the run")
+	}
+	if res := r.Run(cell); !res.Failed {
+		t.Fatal("memoized failure lost")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("Exec called %d times, want 1 (failure memoized)", n)
+	}
+}
+
+// TestExecCancelledContextNotMemoized: cancellation during a remote
+// dispatch behaves exactly like local cancellation — failed now, fresh
+// attempt later.
+func TestExecCancelledContextNotMemoized(t *testing.T) {
+	cell, want := execFixture()
+	var calls atomic.Int64
+	r := NewRunner(DefaultConfig())
+	r.Exec = func(ctx context.Context, c Cell) (CellResult, error) {
+		if calls.Add(1) == 1 {
+			<-ctx.Done()
+			return CellResult{}, ctx.Err()
+		}
+		return want, nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if res := r.RunContext(ctx, cell); !res.Failed {
+		t.Fatal("cancelled dispatch did not fail")
+	}
+	if res := r.Run(cell); res.Failed {
+		t.Fatal("cancellation was memoized")
+	}
+}
+
+// TestExecResultsFeedTheSharedCache: a successful remote result is stored
+// through the runner's cache exactly like a local one, so a cell executed
+// anywhere in a fleet is a cache hit everywhere; Failed results never are.
+func TestExecResultsFeedTheSharedCache(t *testing.T) {
+	cell, want := execFixture()
+	be := NewMemBackend()
+	r := NewRunner(DefaultConfig())
+	r.Cache = NewCellCacheOn(be)
+	r.Exec = func(ctx context.Context, c Cell) (CellResult, error) {
+		return want, nil
+	}
+	if got := r.Run(cell); got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	// A second runner sharing the backend (but with no Exec at all) must be
+	// served from the cache without simulating.
+	r2 := NewRunner(DefaultConfig())
+	r2.Cache = NewCellCacheOn(be)
+	r2.Exec = func(ctx context.Context, c Cell) (CellResult, error) {
+		t.Error("cache-hit cell reached Exec")
+		return CellResult{}, errors.New("unreachable")
+	}
+	if got := r2.Run(cell); got != want {
+		t.Fatalf("shared-cache run got %+v, want %+v", got, want)
+	}
+	if m := r2.BuildManifest(nil); m.CacheHits != 1 {
+		t.Fatalf("manifest cache hits = %d, want 1", m.CacheHits)
+	}
+}

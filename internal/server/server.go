@@ -59,6 +59,23 @@ type Config struct {
 	// runner the server creates: a cell simulated for one request (or by
 	// a previous process) is served from disk for the next.
 	CacheDir string
+	// Cache, when non-nil, overrides CacheDir with an explicit cache
+	// backend — typically experiments.NewHTTPBackend pointed at another
+	// instance's /cache route, so a whole fleet shares one
+	// content-addressed result store. Whichever backend ends up active is
+	// also served back out on this instance's own /cache route.
+	Cache experiments.CacheBackend
+	// Workers, when non-empty, puts the server in coordinator mode: POST
+	// /run plans work with the ordinary planners but executes every cell
+	// remotely on these worker base URLs (fanning experiments out in
+	// parallel), with failover and hedged retries. The workers are plain
+	// webmm serve instances and must be launched with the same simulation
+	// defaults as the coordinator.
+	Workers []string
+	// HedgeAfter is the multiple of the observed p50 cell wall time after
+	// which a dispatched cell is hedged onto a second shard (coordinator
+	// mode). 0 means the default (4); negative disables hedging.
+	HedgeAfter float64
 	// CellTimeout bounds each cell attempt's wall time (0 = unbounded).
 	// Requests may tighten it per call, never widen it.
 	CellTimeout time.Duration
@@ -66,6 +83,18 @@ type Config struct {
 	// requests are cancelled (cooperatively) instead of drained. Default
 	// 60s.
 	DrainTimeout time.Duration
+	// ReadHeaderTimeout bounds how long one connection may take to send
+	// its request headers; a slowloris client is cut off instead of
+	// pinning a connection through drain forever. Default 10s.
+	ReadHeaderTimeout time.Duration
+	// IdleTimeout closes keep-alive connections that sit idle. Default
+	// 120s.
+	IdleTimeout time.Duration
+	// EventWriteTimeout bounds each NDJSON progress write. A client that
+	// stops reading (without disconnecting) trips it; the connection is
+	// abandoned and the request's cell cancelled, so a stalled reader
+	// cannot pin a worker slot. Default 30s.
+	EventWriteTimeout time.Duration
 	// Tel is the telemetry session backing /metrics. nil means a live
 	// in-memory session (telemetry.NewLive).
 	Tel *telemetry.Telemetry
@@ -94,10 +123,12 @@ type runnerKey struct {
 // ListenAndServe (which drains on context cancellation) or mount Handler
 // on an existing mux; Close drains the worker pool.
 type Server struct {
-	cfg    Config
-	cache  *experiments.CellCache
-	tel    *telemetry.Telemetry
-	budget *budget.Controller // nil without Config.GlobalBudget
+	cfg     Config
+	cache   *experiments.CellCache
+	cacheBE experiments.CacheBackend // backing store for /cache, nil when uncached
+	tel     *telemetry.Telemetry
+	budget  *budget.Controller // nil without Config.GlobalBudget
+	fleet   *fleet             // nil outside coordinator mode
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -106,8 +137,9 @@ type Server struct {
 	closed  bool
 	runners map[runnerKey]*experiments.Runner
 
-	ready chan struct{} // closed once addr is bound
-	addr  string        // valid after ready
+	ready     chan struct{} // closed once ListenAndServe resolves the listener
+	readyOnce sync.Once     // ready must close on every exit path, exactly once
+	addr      string        // valid after ready; "" when the listen failed
 
 	started  time.Time
 	draining atomic.Bool
@@ -131,6 +163,18 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 60 * time.Second
+	}
+	if cfg.ReadHeaderTimeout <= 0 {
+		cfg.ReadHeaderTimeout = 10 * time.Second
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 120 * time.Second
+	}
+	if cfg.EventWriteTimeout <= 0 {
+		cfg.EventWriteTimeout = 30 * time.Second
+	}
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = 4
 	}
 	def := experiments.DefaultConfig()
 	if cfg.Sim.Scale == 0 {
@@ -161,12 +205,24 @@ func New(cfg Config) (*Server, error) {
 	if s.tel == nil {
 		s.tel = telemetry.NewLive()
 	}
-	if cfg.CacheDir != "" {
-		cc, err := experiments.NewCellCache(cfg.CacheDir)
+	be := cfg.Cache
+	if be == nil && cfg.CacheDir != "" {
+		var err error
+		be, err = experiments.NewDiskBackend(cfg.CacheDir)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("server: cell cache: %w", err)
 		}
-		s.cache = cc
+	}
+	if be != nil {
+		s.cacheBE = be
+		s.cache = experiments.NewCellCacheOn(be)
+	}
+	if len(cfg.Workers) > 0 {
+		fl, err := newFleet(s, cfg.Workers, cfg.HedgeAfter)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.fleet = fl
 	}
 	if cfg.GlobalBudget > 0 {
 		s.budget = budget.New(cfg.GlobalBudget, cfg.Pressure)
@@ -229,6 +285,16 @@ func (s *Server) runnerFor(k runnerKey) (*experiments.Runner, error) {
 	r.Faults = plan
 	r.Timeout = k.timeout
 	r.Budget = s.budget
+	if s.fleet != nil {
+		// Coordinator mode: the runner keeps its memo, shared cache, and
+		// singleflight — identical in-flight cells across concurrent client
+		// requests collapse to one upstream call — but execution happens on
+		// the fleet.
+		k := k
+		r.Exec = func(ctx context.Context, c experiments.Cell) (experiments.CellResult, error) {
+			return s.fleet.exec(ctx, k, c)
+		}
+	}
 	s.runners[k] = r
 	return r, nil
 }
@@ -259,8 +325,9 @@ func (s *Server) worker() {
 	}
 }
 
-// Addr blocks until the listener is bound and returns its address. Only
-// meaningful with ListenAndServe.
+// Addr blocks until ListenAndServe has resolved its listener and returns
+// the bound address — or "" when the listen failed (Addr never blocks
+// forever on a failed server). Only meaningful with ListenAndServe.
 func (s *Server) Addr() string {
 	<-s.ready
 	return s.addr
@@ -273,12 +340,24 @@ func (s *Server) Addr() string {
 func (s *Server) ListenAndServe(ctx context.Context) error {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
+		// ready must close on every exit path: a concurrent Addr() caller
+		// would otherwise block forever on a server that never bound.
+		s.readyOnce.Do(func() { close(s.ready) })
 		return err
 	}
 	s.addr = ln.Addr().String()
-	close(s.ready)
+	s.readyOnce.Do(func() { close(s.ready) })
 
-	srv := &http.Server{Handler: s.Handler()}
+	srv := &http.Server{
+		Handler: s.Handler(),
+		// One slowloris client must not pin a connection through drain:
+		// headers have a deadline and idle keep-alives are reaped. There
+		// is deliberately no WriteTimeout — progress streams legitimately
+		// run for minutes; per-write deadlines in handleRun cover stalled
+		// readers instead.
+		ReadHeaderTimeout: s.cfg.ReadHeaderTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -306,18 +385,29 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
+	// The fleet-shared cell store: GET/PUT/DELETE /cache/{key}. Backed by
+	// whatever cache this instance uses (disk or remote); without one the
+	// handler answers 503.
+	mux.Handle("/cache/", experiments.CacheHandler(s.cacheBE))
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/", s.handleIndex)
 	return mux
 }
 
-// runRequest is the POST /run body. Exactly one of Experiment or
-// (Alloc, Workload) selects the work; zero config fields inherit the
+// runRequest is the POST /run body. Exactly one of Experiment, CellSpec,
+// or (Alloc, Workload) selects the work; zero config fields inherit the
 // server's defaults.
 type runRequest struct {
 	// Experiment names a registered experiment ("fig1", "table4", ...).
 	Experiment string `json:"experiment,omitempty"`
+
+	// CellSpec selects one cell verbatim — every field exactly as the
+	// experiments.Cell struct, RestartEvery already scaled, Budget
+	// included. The fleet coordinator dispatches planned cells this way
+	// so nothing is re-derived on the worker; the flat fields below
+	// remain the hand-written form (ignored when CellSpec is set).
+	CellSpec *experiments.Cell `json:"cell,omitempty"`
 
 	// Cell selection (ignored when Experiment is set).
 	Platform string `json:"platform,omitempty"`
@@ -363,7 +453,9 @@ type job struct {
 	cell   experiments.Cell
 	desc   experiments.Descriptor
 	isExp  bool
+	fanout int // concurrent cells for an experiment job (1 = serial)
 	events chan event
+	cancel context.CancelFunc // set by handleRun; fired when the client stalls
 }
 
 // emit hands one progress event to the handler. A dead client's context is
@@ -383,23 +475,63 @@ func (j *job) execute() {
 	j.emit(event{"event": "running"})
 	if !j.isExp {
 		res := j.r.RunContext(j.ctx, j.cell)
-		j.emit(event{"event": "result", "cell": j.cell.Key(), "failed": res.Failed, "result": res})
+		e := event{"event": "result", "cell": j.cell.Key(), "failed": res.Failed, "result": res}
+		if res.Failed {
+			// A fleet coordinator on the other end of this stream needs to
+			// know whether the failure was the cell's own (final — retrying
+			// elsewhere would fail the same way) or environmental (timeout,
+			// cancellation, pressure: worth a fresh attempt).
+			if msg, env, ok := j.failure(j.cell); ok {
+				e["error"], e["environmental"] = msg, env
+			}
+		}
+		j.emit(e)
 		return
 	}
-	// Experiments run their planned cells one at a time so each finished
-	// cell becomes a progress event; cross-request parallelism comes from
-	// the worker pool, and the memo dedups cells shared between requests.
+	// Experiments run their planned cells up front so each finished cell
+	// becomes a progress event; the memo dedups cells shared between
+	// requests, and desc.Run below is served entirely from it. A plain
+	// server walks the plan serially (cross-request parallelism comes from
+	// the worker pool); a coordinator fans it out across the fleet with
+	// fanout in flight at once.
 	var cells []experiments.Cell
 	if j.desc.Cells != nil {
 		cells = j.desc.Cells(j.r)
 	}
-	for i, c := range cells {
-		res := j.r.RunContext(j.ctx, c)
-		j.emit(event{"event": "cell", "cell": c.Key(), "failed": res.Failed,
-			"done": i + 1, "total": len(cells)})
+	if j.fanout > 1 && len(cells) > 1 {
+		var (
+			wg   sync.WaitGroup
+			done atomic.Int64
+			sem  = make(chan struct{}, j.fanout)
+		)
+		for _, c := range cells {
+			if j.ctx.Err() != nil {
+				break
+			}
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(c experiments.Cell) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				res := j.r.RunContext(j.ctx, c)
+				j.emit(event{"event": "cell", "cell": c.Key(), "failed": res.Failed,
+					"done": done.Add(1), "total": len(cells)})
+			}(c)
+		}
+		wg.Wait()
 		if j.ctx.Err() != nil {
 			j.emit(event{"event": "error", "error": j.ctx.Err().Error()})
 			return
+		}
+	} else {
+		for i, c := range cells {
+			res := j.r.RunContext(j.ctx, c)
+			j.emit(event{"event": "cell", "cell": c.Key(), "failed": res.Failed,
+				"done": i + 1, "total": len(cells)})
+			if j.ctx.Err() != nil {
+				j.emit(event{"event": "error", "error": j.ctx.Err().Error()})
+				return
+			}
 		}
 	}
 	out := j.desc.Run(j.r)
@@ -419,6 +551,26 @@ func (j *job) execute() {
 		done["failures"] = msgs
 	}
 	j.emit(done)
+}
+
+// failure finds the recorded CellError for c (most recent first) and
+// classifies it: environmental failures — cancellation, deadline, transient
+// fleet trouble, budget pressure — are retryable; everything else is the
+// cell's own deterministic verdict.
+func (j *job) failure(c experiments.Cell) (msg string, environmental bool, ok bool) {
+	fails := j.r.Failures()
+	for i := len(fails) - 1; i >= 0; i-- {
+		f := fails[i]
+		if f.Cell != c {
+			continue
+		}
+		env := f.Pressured ||
+			errors.Is(f.Err, context.Canceled) ||
+			errors.Is(f.Err, context.DeadlineExceeded) ||
+			errors.Is(f.Err, experiments.ErrTransient)
+		return f.Err.Error(), env, true
+	}
+	return "", false, false
 }
 
 // buildJob validates a request and resolves its runner. Validation happens
@@ -467,17 +619,37 @@ func (s *Server) buildJob(ctx context.Context, req runRequest) (*job, error) {
 	if err != nil {
 		return nil, err
 	}
-	j := &job{ctx: ctx, r: r, events: make(chan event, 4)}
+	j := &job{ctx: ctx, r: r, events: make(chan event, 4), fanout: 1}
 	if req.Experiment != "" {
 		d, err := experiments.ExperimentByName(req.Experiment)
 		if err != nil {
 			return nil, err
 		}
 		j.desc, j.isExp = d, true
+		if s.fleet != nil {
+			// A coordinator fans an experiment's plan out across the fleet
+			// instead of walking it serially; two in flight per worker
+			// keeps every shard busy while its queue stays shallow.
+			j.fanout = 2 * len(s.fleet.workers)
+		}
+		return j, nil
+	}
+	if req.CellSpec != nil {
+		c := *req.CellSpec
+		if c.Platform == "" {
+			c.Platform = "xeon"
+		}
+		if c.Cores == 0 {
+			c.Cores = 8
+		}
+		if err := validateCell(c); err != nil {
+			return nil, err
+		}
+		j.cell = c
 		return j, nil
 	}
 	if req.Alloc == "" || req.Workload == "" && !req.Ruby {
-		return nil, errors.New(`request needs "experiment" or "alloc"+"workload"`)
+		return nil, errors.New(`request needs "experiment", "cell", or "alloc"+"workload"`)
 	}
 	if req.Platform == "" {
 		req.Platform = "xeon"
@@ -488,30 +660,47 @@ func (s *Server) buildJob(ctx context.Context, req runRequest) (*job, error) {
 	if req.Workload == "" && req.Ruby {
 		req.Workload = workload.Rails().Name
 	}
-	if _, err := machine.PlatformByName(req.Platform); err != nil {
-		return nil, err
-	}
-	if _, err := workload.ByName(req.Workload); err != nil {
-		return nil, err
-	}
-	if _, err := apprt.AllocCodeSize(req.Alloc); err != nil {
-		return nil, err
-	}
-	if req.MemSched != "" {
-		if _, err := memsys.PolicyByName(memsys.PolicyName(req.MemSched)); err != nil {
-			return nil, err
-		}
-	}
 	restart := 0
 	if req.Ruby {
 		restart = r.RubyRestartPeriod(req.RestartEvery)
 	}
-	j.cell = experiments.Cell{
+	c := experiments.Cell{
 		Platform: req.Platform, Alloc: req.Alloc, Workload: req.Workload,
 		Cores: req.Cores, Ruby: req.Ruby, RestartEvery: restart,
 		MemSched: req.MemSched,
 	}
+	if err := validateCell(c); err != nil {
+		return nil, err
+	}
+	j.cell = c
 	return j, nil
+}
+
+// validateCell rejects cells naming unknown platforms, workloads,
+// allocators, or scheduling policies — before admission, so a bad request
+// costs a 400, never a queue slot.
+func validateCell(c experiments.Cell) error {
+	if c.Alloc == "" || c.Workload == "" {
+		return errors.New(`cell needs "alloc" and "workload"`)
+	}
+	if c.Cores < 1 {
+		return fmt.Errorf("cores %d must be >= 1", c.Cores)
+	}
+	if _, err := machine.PlatformByName(c.Platform); err != nil {
+		return err
+	}
+	if _, err := workload.ByName(c.Workload); err != nil {
+		return err
+	}
+	if _, err := apprt.AllocCodeSize(c.Alloc); err != nil {
+		return err
+	}
+	if c.MemSched != "" {
+		if _, err := memsys.PolicyByName(memsys.PolicyName(c.MemSched)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // pressureLevel is the current rung of the admission ladder; Nominal
@@ -590,11 +779,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			"requests forced to sampled fidelity by memory pressure", nil).Inc()
 	}
 
-	j, err := s.buildJob(r.Context(), req)
+	// The job runs under its own cancellable child of the request context:
+	// a disconnect cancels it via r.Context(), and a client that stalls
+	// without disconnecting (below) is cancelled explicitly. Either way the
+	// cell stops cooperatively and the worker slot frees.
+	jctx, jcancel := context.WithCancel(r.Context())
+	defer jcancel()
+	j, err := s.buildJob(jctx, req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	j.cancel = jcancel
 	if !s.enqueue(j) {
 		s.rejectPressure(w, http.StatusTooManyRequests, "admission queue full; retry later")
 		return
@@ -606,8 +802,23 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
+	dead := false
 	write := func(e event) {
-		_ = enc.Encode(e)
+		if dead {
+			return
+		}
+		// Per-event write deadline: the stream as a whole may legitimately
+		// run for minutes (hence no http.Server WriteTimeout), but any
+		// single event that cannot be flushed within EventWriteTimeout means
+		// the client stopped reading. Cancel the job — a stalled-but-
+		// connected reader must not pin a worker slot — and keep draining.
+		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.EventWriteTimeout))
+		if err := enc.Encode(e); err != nil {
+			dead = true
+			j.cancel()
+			return
+		}
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -663,11 +874,17 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprint(w, `webmm experiment service
 
-POST /run      {"platform":"xeon","alloc":"ddmalloc","workload":"phpBB","cores":8}
-               {"experiment":"fig1","scale":64}
-               -> NDJSON progress stream (queued, running, cell..., result|done)
-GET  /metrics  Prometheus text exposition of the shared telemetry registry
-GET  /healthz  queue and worker status
+POST /run          {"platform":"xeon","alloc":"ddmalloc","workload":"phpBB","cores":8}
+                   {"experiment":"fig1","scale":64}
+                   {"cell":{...}} (verbatim cell; used by fleet coordinators)
+                   -> NDJSON progress stream (queued, running, cell..., result|done)
+GET  /cache/{key}  fleet-shared cell result store (also PUT, DELETE; 503 without a cache)
+GET  /metrics      Prometheus text exposition of the shared telemetry registry
+GET  /healthz      queue and worker status
+
+Started with -workers, this instance is a fleet coordinator: it plans
+experiments locally and executes every cell remotely, with request
+coalescing, failover, and hedged retries.
 `)
 }
 
